@@ -1,0 +1,111 @@
+// FIG2 — Chen et al.'s schedule before/after the arrival of a new job
+// (paper Figure 2) and the load-monotonicity bound of Proposition 2.
+//
+// Reproduces the figure's content as a table: per-processor loads of the
+// energy-optimal 4-CPU schedule before and after a new job arrives, showing
+// the dedicated/pool structure and that every processor's load moves by at
+// most the new job's size. A randomized sweep then reports the worst
+// violation of the Proposition-2 bounds (expected: none).
+#include <algorithm>
+#include <vector>
+
+#include "chen/interval_schedule.hpp"
+#include "common.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace pss;
+using chen::IntervalSolution;
+using model::Load;
+
+std::vector<Load> make_loads(const std::vector<double>& amounts) {
+  std::vector<Load> loads;
+  for (std::size_t i = 0; i < amounts.size(); ++i)
+    loads.push_back({model::JobId(i), amounts[i]});
+  return loads;
+}
+
+void figure2_example() {
+  bench::print_header("FIG2", "Chen et al. schedule before/after an arrival");
+  const int m = 4;
+  // Before: one big dedicated job, one medium, four pool jobs (mirrors the
+  // paper's picture: dedicated CPUs on top, a pool underneath).
+  const std::vector<double> before{6.0, 3.5, 1.2, 1.0, 0.8, 0.6};
+  const double new_job = 2.4;
+  std::vector<double> after = before;
+  after.push_back(new_job);
+
+  IntervalSolution pre(make_loads(before), m, 1.0);
+  IntervalSolution post(make_loads(after), m, 1.0);
+
+  util::Table t({"CPU", "load before", "load after", "delta",
+                 "bound z", "within [0,z]"});
+  for (std::size_t i = 0; i < std::size_t(m); ++i) {
+    const double l0 = pre.load_on_processor(i);
+    const double l1 = post.load_on_processor(i);
+    const double d = l1 - l0;
+    t.add_row({(long long)i, l0, l1, d, new_job,
+               std::string(d >= -1e-12 && d <= new_job + 1e-12 ? "yes"
+                                                               : "NO")});
+  }
+  bench::emit(t, "fig2_example.csv");
+  std::cout << "dedicated before: " << pre.dedicated_count()
+            << ", after: " << post.dedicated_count()
+            << "; pool speed before: " << pre.pool_speed()
+            << ", after: " << post.pool_speed() << "\n";
+}
+
+void proposition2_sweep() {
+  bench::print_header("FIG2-sweep",
+                      "Proposition 2 bound 0 <= L'_i - L_i <= z (randomized)");
+  util::Table t({"machines m", "trials", "min delta", "max delta - z",
+                 "violations"});
+  for (int m : {2, 4, 8, 16}) {
+    util::Rng rng(1000 + std::uint64_t(m));
+    double min_delta = 0.0, max_over = -1e300;
+    long long violations = 0;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial) {
+      const int p = int(rng.uniform_int(0, 2 * m));
+      std::vector<double> amounts;
+      for (int i = 0; i < p; ++i) amounts.push_back(rng.uniform(0.05, 5.0));
+      const double z = rng.uniform(0.01, 6.0);
+      IntervalSolution pre(make_loads(amounts), m, 1.0);
+      auto with_new = amounts;
+      with_new.push_back(z);
+      IntervalSolution post(make_loads(with_new), m, 1.0);
+      for (std::size_t i = 0; i < std::size_t(m); ++i) {
+        const double d =
+            post.load_on_processor(i) - pre.load_on_processor(i);
+        min_delta = std::min(min_delta, d);
+        max_over = std::max(max_over, d - z);
+        if (d < -1e-9 || d > z + 1e-9) ++violations;
+      }
+    }
+    t.add_row({(long long)m, (long long)trials, min_delta, max_over,
+               violations});
+  }
+  bench::emit(t, "fig2_prop2_sweep.csv");
+}
+
+void BM_ChenSolve(benchmark::State& state) {
+  const int p = int(state.range(0));
+  util::Rng rng(7);
+  std::vector<Load> loads;
+  for (int i = 0; i < p; ++i)
+    loads.push_back({model::JobId(i), rng.uniform(0.1, 5.0)});
+  for (auto _ : state) {
+    IntervalSolution solution(loads, 8, 1.0);
+    benchmark::DoNotOptimize(solution.pool_speed());
+  }
+}
+BENCHMARK(BM_ChenSolve)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  figure2_example();
+  proposition2_sweep();
+  return pss::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,79 @@
+// TAB-DUAL — the duality chain of Section 4 made measurable.
+//
+// On small instances every quantity is computable exactly:
+//   g(lambda~)  <=  CP-opt (relaxed)  <=  OPT (brute force)  <=  cost(PD)
+// and Theorem 3 closes the loop with cost(PD) <= alpha^alpha * g(lambda~).
+// The table reports each link and the realized gaps; the chain holding on
+// every row is the strongest end-to-end correctness check in the suite.
+#include "common.hpp"
+#include "convex/brute_force.hpp"
+#include "convex/solver.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+void duality_table() {
+  bench::print_header("TAB-DUAL",
+                      "g(lambda~) <= CP-opt <= OPT <= cost(PD) <= a^a g");
+  util::Table t({"seed", "m", "alpha", "g(lambda~)", "CP-opt", "OPT",
+                 "cost(PD)", "PD/OPT", "PD/g", "chain"});
+  t.set_precision(4);
+  sim::Aggregate pd_over_opt, pd_over_g;
+  for (std::uint64_t seed = 1; seed <= 14; ++seed) {
+    const int m = 1 + int(seed % 3);
+    const double alpha = 2.0 + 0.5 * double(seed % 3);
+    workload::UniformConfig config;
+    config.num_jobs = 10;
+    config.horizon = 12.0;
+    config.value_scale = 1.0;
+    const auto inst = workload::uniform_random(config, Machine{m, alpha},
+                                               seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+
+    const auto pd = core::run_pd(inst);
+    const auto relaxed = convex::minimize_relaxed(inst, partition);
+    const auto brute = convex::brute_force_opt(inst, partition);
+
+    const double g = pd.dual_lower_bound;
+    const double tol = 1e-5;
+    const bool chain = g <= relaxed.objective * (1 + tol) &&
+                       relaxed.objective <= brute.cost * (1 + tol) &&
+                       brute.cost <= pd.cost.total() * (1 + tol) &&
+                       pd.cost.total() <=
+                           bench::alpha_to_alpha(alpha) * g * (1 + tol);
+    t.add_row({(long long)seed, (long long)m, alpha, g, relaxed.objective,
+               brute.cost, pd.cost.total(), pd.cost.total() / brute.cost,
+               pd.cost.total() / g, std::string(chain ? "holds" : "BROKEN")});
+    pd_over_opt.add(pd.cost.total() / brute.cost);
+    pd_over_g.add(pd.cost.total() / g);
+  }
+  bench::emit(t, "tab_duality_gap.csv");
+  std::cout << "mean PD/OPT: " << pd_over_opt.mean()
+            << ", mean PD/g: " << pd_over_g.mean()
+            << " (the certificate PD/g over-estimates the true ratio).\n";
+}
+
+void BM_BruteForce10(benchmark::State& state) {
+  workload::UniformConfig config;
+  config.num_jobs = 10;
+  config.horizon = 12.0;
+  const auto inst = workload::uniform_random(config, Machine{2, 3.0}, 1);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  for (auto _ : state) {
+    auto result = convex::brute_force_opt(inst, partition);
+    benchmark::DoNotOptimize(result.cost);
+  }
+}
+BENCHMARK(BM_BruteForce10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  duality_table();
+  return pss::bench::run_benchmarks(argc, argv);
+}

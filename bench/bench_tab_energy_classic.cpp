@@ -1,0 +1,90 @@
+// TAB-ENERGY — the classical Yao–Demers–Shenker regime (all jobs must
+// finish) as the special case of the profitable model with infinite values.
+//
+// Compares the canonical online algorithms against the offline optimum
+// (YDS) on a single processor: OA, qOA, AVR, BKP, plus PD-with-infinite-
+// values (the paper's algorithm degenerates gracefully). Normalized
+// energies; the expected shape is OPT = 1 <= OA,PD <= qOA/AVR/BKP-ish,
+// with every ratio far below the worst-case alpha^alpha.
+#include "baselines/algorithms.hpp"
+#include "baselines/avr.hpp"
+#include "baselines/bkp.hpp"
+#include "baselines/yds.hpp"
+#include "common.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+void classic_table() {
+  bench::print_header(
+      "TAB-ENERGY",
+      "classical model (values = inf), m = 1: energy / OPT(YDS)");
+  util::Table t({"alpha", "workload", "seeds", "OA", "qOA", "AVR", "BKP",
+                 "PD(v=inf)", "worst bound a^a"});
+  t.set_precision(3);
+  const int seeds = 10;
+  for (double alpha : {2.0, 3.0}) {
+    for (int family = 0; family < 2; ++family) {
+      sim::Aggregate oa_r, qoa_r, avr_r, bkp_r, pd_r;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        model::Instance inst = [&] {
+          if (family == 0) {
+            workload::UniformConfig config;
+            config.num_jobs = 25;
+            config.must_finish = true;
+            return workload::uniform_random(config, Machine{1, alpha}, seed);
+          }
+          workload::PoissonConfig config;
+          config.num_jobs = 25;
+          config.must_finish = true;
+          return workload::poisson_heavy_tail(config, Machine{1, alpha},
+                                              seed);
+        }();
+        const auto partition = model::TimePartition::from_jobs(inst.jobs());
+        std::vector<model::JobId> ids;
+        for (const auto& j : inst.jobs()) ids.push_back(j.id);
+        const double opt = baselines::yds(inst, partition, ids).energy;
+
+        oa_r.add(baselines::run_oa(inst).cost.energy / opt);
+        qoa_r.add(baselines::run_qoa(inst).cost.energy / opt);
+        avr_r.add(baselines::run_avr(inst, partition).energy / opt);
+        bkp_r.add(baselines::run_bkp(inst, partition).energy / opt);
+        pd_r.add(core::run_pd(inst).cost.total() / opt);
+      }
+      t.add_row({alpha, std::string(family == 0 ? "uniform" : "poisson"),
+                 (long long)seeds, oa_r.mean(), qoa_r.mean(), avr_r.mean(),
+                 bkp_r.mean(), pd_r.mean(), bench::alpha_to_alpha(alpha)});
+    }
+  }
+  bench::emit(t, "tab_energy_classic.csv");
+  std::cout << "expected shape: OPT-normalized ratios modest on random "
+               "inputs; OA and PD track each other; BKP pays its e-factor; "
+               "AVR worst among the deadline-aware policies.\n";
+}
+
+void BM_Yds(benchmark::State& state) {
+  workload::UniformConfig config;
+  config.num_jobs = int(state.range(0));
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(config, Machine{1, 3.0}, 1);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  std::vector<model::JobId> ids;
+  for (const auto& j : inst.jobs()) ids.push_back(j.id);
+  for (auto _ : state) {
+    auto result = baselines::yds(inst, partition, ids);
+    benchmark::DoNotOptimize(result.energy);
+  }
+}
+BENCHMARK(BM_Yds)->Arg(25)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  classic_table();
+  return pss::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,99 @@
+// TAB-PERF — scheduler throughput (the systems table).
+//
+// google-benchmark timings of the library's hot paths: PD arrival
+// processing as a function of job count and machine size, insertion-curve
+// construction, the offline convex solver, and the dual-certificate
+// evaluation. A summary table reports per-arrival latency, since that is
+// the quantity an online deployment cares about.
+#include <chrono>
+
+#include "baselines/algorithms.hpp"
+#include "common.hpp"
+#include "convex/solver.hpp"
+#include "core/run.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+model::Instance make_poisson(int n, int m, std::uint64_t seed) {
+  workload::PoissonConfig config;
+  config.num_jobs = n;
+  config.value_scale = 1.5;
+  return workload::poisson_heavy_tail(config, Machine{m, 3.0}, seed);
+}
+
+void per_arrival_table() {
+  bench::print_header("TAB-PERF", "PD per-arrival latency (wall clock)");
+  util::Table t({"jobs n", "m", "total ms", "us per arrival"});
+  t.set_precision(2);
+  for (int n : {50, 200, 800}) {
+    for (int m : {1, 4, 16}) {
+      const auto inst = make_poisson(n, m, 1);
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = core::run_pd(inst);
+      const auto stop = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(result.cost.energy);
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      t.add_row({(long long)n, (long long)m, ms, 1000.0 * ms / n});
+    }
+  }
+  bench::emit(t, "tab_performance.csv");
+}
+
+void BM_PdArrivals(benchmark::State& state) {
+  const auto inst = make_poisson(int(state.range(0)), int(state.range(1)), 1);
+  for (auto _ : state) {
+    auto result = core::run_pd(inst);
+    benchmark::DoNotOptimize(result.cost.energy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PdArrivals)
+    ->Args({50, 1})
+    ->Args({50, 8})
+    ->Args({200, 1})
+    ->Args({200, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConvexSolver(benchmark::State& state) {
+  workload::UniformConfig config;
+  config.num_jobs = int(state.range(0));
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(
+      config, Machine{int(state.range(1)), 3.0}, 1);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  std::vector<model::JobId> ids;
+  for (const auto& j : inst.jobs()) ids.push_back(j.id);
+  for (auto _ : state) {
+    auto result = convex::minimize_energy(inst, partition, ids);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_ConvexSolver)
+    ->Args({20, 1})
+    ->Args({20, 4})
+    ->Args({60, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OaReplanning(benchmark::State& state) {
+  workload::UniformConfig config;
+  config.num_jobs = int(state.range(0));
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(config, Machine{1, 3.0}, 1);
+  for (auto _ : state) {
+    auto result = baselines::run_oa(inst);
+    benchmark::DoNotOptimize(result.cost.energy);
+  }
+}
+BENCHMARK(BM_OaReplanning)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  per_arrival_table();
+  return pss::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,157 @@
+// TAB-REJ — anatomy of the rejection policy.
+//
+// Sweeping the value scale kappa (job value = kappa * energy-fair price)
+// traces the accept/reject transition: cheap jobs are dropped wholesale,
+// precious jobs are always served. Small instances additionally compare
+// PD's decisions against the exact brute-force OPT to show how often the
+// online policy matches the offline accept set. Also verifies the paper's
+// Section-3 note: PD rejects exactly when the planned energy would exceed
+// alpha^(alpha-2) * v_j.
+#include "common.hpp"
+#include "convex/brute_force.hpp"
+#include "core/fractional_pd.hpp"
+#include "core/rejection.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+void rejection_sweep() {
+  bench::print_header("TAB-REJ", "accept/reject transition vs value scale");
+  util::Table t({"kappa", "seeds", "accepted %", "energy share %",
+                 "lost share %", "total cost", "cert ratio"});
+  t.set_precision(2);
+  const Machine machine{2, 3.0};
+  const int seeds = 16;
+  for (double kappa : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0}) {
+    sim::Aggregate accepted, energy_share, lost_share, total, cert;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      workload::TightConfig config;
+      config.num_jobs = 40;
+      config.value_scale = kappa;
+      const auto inst = workload::tight_laxity(config, machine, seed);
+      const auto pd = core::run_pd(inst);
+      if (!model::validate_schedule(pd.schedule, inst).ok)
+        throw std::logic_error("invalid PD schedule in TAB-REJ");
+      int acc = 0;
+      for (bool a : pd.accepted) acc += a ? 1 : 0;
+      accepted.add(100.0 * acc / double(inst.num_jobs()));
+      const double tot = pd.cost.total();
+      energy_share.add(tot > 0 ? 100.0 * pd.cost.energy / tot : 0.0);
+      lost_share.add(tot > 0 ? 100.0 * pd.cost.lost_value / tot : 0.0);
+      total.add(tot);
+      cert.add(pd.certified_ratio);
+    }
+    t.add_row({kappa, (long long)seeds, accepted.mean(), energy_share.mean(),
+               lost_share.mean(), total.mean(), cert.mean()});
+  }
+  bench::emit(t, "tab_rejection_sweep.csv");
+  std::cout << "expected shape: acceptance rises monotonically with kappa; "
+               "cost composition flips from lost-value to energy.\n";
+}
+
+void oracle_agreement() {
+  bench::print_header("TAB-REJ-oracle",
+                      "PD accept set vs exact OPT accept set (n = 10)");
+  util::Table t({"kappa", "instances", "decision agreement %",
+                 "mean cost PD/OPT"});
+  t.set_precision(3);
+  for (double kappa : {0.5, 1.0, 2.0}) {
+    sim::Aggregate agree, ratio;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      workload::UniformConfig config;
+      config.num_jobs = 10;
+      config.horizon = 12.0;
+      config.value_scale = kappa;
+      const auto inst =
+          workload::uniform_random(config, Machine{2, 3.0}, seed);
+      const auto pd = core::run_pd(inst);
+      const auto partition = model::TimePartition::from_jobs(inst.jobs());
+      const auto opt = convex::brute_force_opt(inst, partition);
+      int same = 0;
+      for (std::size_t j = 0; j < inst.num_jobs(); ++j)
+        same += (pd.accepted[j] == opt.accepted[j]) ? 1 : 0;
+      agree.add(100.0 * same / double(inst.num_jobs()));
+      ratio.add(pd.cost.total() / opt.cost);
+    }
+    t.add_row({kappa, (long long)agree.count(), agree.mean(), ratio.mean()});
+  }
+  bench::emit(t, "tab_rejection_oracle.csv");
+}
+
+void fractional_comparison() {
+  bench::print_header(
+      "TAB-REJ-fractional",
+      "all-or-nothing PD vs fractional service (relaxed cost model)");
+  util::Table t({"kappa", "seeds", "PD cost", "fractional cost",
+                 "frac/PD", "mean served fraction %"});
+  t.set_precision(3);
+  const Machine machine{2, 3.0};
+  const int seeds = 16;
+  for (double kappa : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    sim::Aggregate pd_cost, frac_cost, served;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      workload::TightConfig config;
+      config.num_jobs = 40;
+      config.value_scale = kappa;
+      const auto inst = workload::tight_laxity(config, machine, seed);
+      pd_cost.add(core::run_pd(inst).cost.total());
+      const auto frac = core::run_fractional_pd(inst);
+      frac_cost.add(frac.total_cost());
+      double f = 0.0;
+      for (double x : frac.fraction) f += x;
+      served.add(100.0 * f / double(inst.num_jobs()));
+    }
+    t.add_row({kappa, (long long)seeds, pd_cost.mean(), frac_cost.mean(),
+               frac_cost.mean() / pd_cost.mean(), served.mean()});
+  }
+  bench::emit(t, "tab_rejection_fractional.csv");
+  std::cout << "expected shape: fractional service pays less where values "
+               "are contested (kappa <= 1) and converges to PD as kappa "
+               "grows.\n";
+}
+
+void energy_threshold_identity() {
+  bench::print_header(
+      "TAB-REJ-identity",
+      "Section 3: reject iff planned energy > alpha^(alpha-2) * v");
+  // For an accepted job at speed s*, planned energy is w * s*^(alpha-1);
+  // the rejection boundary speed makes that exactly alpha^(alpha-2) * v.
+  util::Table t({"alpha", "planned energy at boundary / (a^(a-2) v)"});
+  t.set_precision(12);
+  for (double alpha : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    const double v = 1.7, w = 0.9;
+    const double s =
+        core::rejection_speed(v, w, alpha, core::optimal_delta(alpha));
+    const double planned = w * util::pos_pow(s, alpha - 1.0);
+    t.add_row({alpha, planned / (std::pow(alpha, alpha - 2.0) * v)});
+  }
+  bench::emit(t, "tab_rejection_identity.csv");
+  std::cout << "expected: exactly 1 for every alpha.\n";
+}
+
+void BM_PdTight(benchmark::State& state) {
+  workload::TightConfig config;
+  config.num_jobs = 40;
+  const auto inst = workload::tight_laxity(config, Machine{2, 3.0}, 1);
+  for (auto _ : state) {
+    auto result = core::run_pd(inst);
+    benchmark::DoNotOptimize(result.cost.energy);
+  }
+}
+BENCHMARK(BM_PdTight);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rejection_sweep();
+  oracle_agreement();
+  fractional_comparison();
+  energy_threshold_identity();
+  return pss::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,81 @@
+// TAB-CLL — single-processor profitable scheduling: PD vs Chan–Lam–Li vs
+// always-admit OA.
+//
+// The paper improves CLL's alpha^alpha + 2e^alpha guarantee to alpha^alpha
+// on the same model. Worst cases are adversarial, so on random workloads
+// the two trade narrowly — the headline shape to check is that PD never
+// collapses where admit-everything OA does (value scale << 1) and matches
+// OA where values are high enough that rejection never pays.
+#include "baselines/algorithms.hpp"
+#include "common.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+void value_scale_table() {
+  bench::print_header(
+      "TAB-CLL", "PD vs CLL vs OA(admit-all), m = 1, value-scale sweep");
+  util::Table t({"value scale", "seeds", "PD cost", "CLL cost",
+                 "OA(all) cost", "PD/CLL", "PD rejects", "CLL rejects",
+                 "PD cert ratio"});
+  t.set_precision(3);
+  const Machine machine{1, 3.0};
+  const int seeds = 16;
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    sim::Aggregate pd_cost, cll_cost, oa_cost, pd_rej, cll_rej, cert;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      workload::UniformConfig config;
+      config.num_jobs = 35;
+      config.value_scale = scale;
+      const auto inst = workload::uniform_random(config, machine, seed);
+
+      const auto pd = core::run_pd(inst);
+      const auto cll = baselines::run_cll(inst);
+      const auto oa = baselines::run_oa(inst);
+      if (!model::validate_schedule(pd.schedule, inst).ok ||
+          !model::validate_schedule(cll.schedule, inst).ok ||
+          !model::validate_schedule(oa.schedule, inst).ok)
+        throw std::logic_error("invalid schedule in TAB-CLL");
+
+      pd_cost.add(pd.cost.total());
+      cll_cost.add(cll.cost.total());
+      oa_cost.add(oa.cost.total());
+      cert.add(pd.certified_ratio);
+      int pdr = 0, cllr = 0;
+      for (bool a : pd.accepted) pdr += a ? 0 : 1;
+      for (bool a : cll.admitted) cllr += a ? 0 : 1;
+      pd_rej.add(pdr);
+      cll_rej.add(cllr);
+    }
+    t.add_row({scale, (long long)seeds, pd_cost.mean(), cll_cost.mean(),
+               oa_cost.mean(), pd_cost.mean() / cll_cost.mean(),
+               pd_rej.mean(), cll_rej.mean(), cert.mean()});
+  }
+  bench::emit(t, "tab_single_proc.csv");
+  std::cout << "expected shape: at low value scales OA(admit-all) pays far "
+               "more than PD/CLL; at high scales all three converge.\n";
+}
+
+void BM_CllArrivals(benchmark::State& state) {
+  workload::UniformConfig config;
+  config.num_jobs = 25;
+  const auto inst =
+      workload::uniform_random(config, Machine{1, 3.0}, 3);
+  for (auto _ : state) {
+    auto result = baselines::run_cll(inst);
+    benchmark::DoNotOptimize(result.cost.energy);
+  }
+}
+BENCHMARK(BM_CllArrivals)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  value_scale_table();
+  return pss::bench::run_benchmarks(argc, argv);
+}

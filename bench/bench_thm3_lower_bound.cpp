@@ -1,0 +1,99 @@
+// THM3-LB — tightness of the alpha^alpha bound.
+//
+// On the adversarial instance of Bansal–Kimbrel–Pruhs (job j arrives at
+// j-1, workload (n-j+1)^(-1/alpha), common deadline n, values too high to
+// reject), PD plans exactly like OA and its cost approaches alpha^alpha
+// times the optimum as n grows. The series below reports the measured
+// ratio against the analytic asymptote for several alpha.
+//
+// The offline optimum exploits the common-deadline structure: the critical
+// YDS window always ends at the deadline, so peeling reduces to repeatedly
+// taking the maximum suffix density — O(n^2) instead of general YDS.
+#include <vector>
+
+#include "common.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+/// Exact offline optimum energy for a common-deadline instance
+/// (releases nondecreasing, all deadlines equal).
+double common_deadline_opt(const model::Instance& instance) {
+  const double alpha = instance.machine().alpha;
+  std::vector<double> release, work;
+  for (const auto& j : instance.jobs()) {
+    release.push_back(j.release);
+    work.push_back(j.work);
+  }
+  double deadline = instance.jobs().front().deadline;
+  double energy = 0.0;
+  std::size_t end = release.size();  // jobs [0, end) still unscheduled
+  while (end > 0) {
+    // Max suffix density over windows [release[k], deadline).
+    double suffix = 0.0, best_density = -1.0;
+    std::size_t best_k = end;
+    for (std::size_t k = end; k-- > 0;) {
+      suffix += work[k];
+      const double len = deadline - release[k];
+      if (len <= 0.0) continue;
+      const double density = suffix / len;
+      if (density > best_density) {
+        best_density = density;
+        best_k = k;
+      }
+    }
+    energy += (deadline - release[best_k]) *
+              util::pos_pow(best_density, alpha);
+    deadline = release[best_k];  // clip: remaining jobs end here
+    end = best_k;
+  }
+  return energy;
+}
+
+void lower_bound_series() {
+  bench::print_header("THM3-LB",
+                      "PD / OPT on the adversarial instance -> alpha^alpha");
+  util::Table t({"alpha", "n", "cost(PD)", "OPT", "ratio", "alpha^alpha",
+                 "ratio/bound"});
+  t.set_precision(4);
+  for (double alpha : {2.0, 3.0}) {
+    const Machine machine{1, alpha};
+    for (int n : {8, 16, 32, 64, 128, 256, 512}) {
+      const auto inst = workload::adversarial_theorem3(n, machine, 1e9);
+      const auto pd = core::run_pd(inst);
+      for (bool accepted : pd.accepted)
+        if (!accepted) throw std::logic_error("adversarial job rejected");
+      const double opt = common_deadline_opt(inst);
+      const double ratio = pd.cost.total() / opt;
+      const double bound = bench::alpha_to_alpha(alpha);
+      t.add_row({alpha, (long long)n, pd.cost.total(), opt, ratio, bound,
+                 ratio / bound});
+    }
+  }
+  bench::emit(t, "thm3_lower_bound.csv");
+  std::cout << "expected shape: ratio increases with n toward alpha^alpha "
+               "(tight for PD).\n";
+}
+
+void BM_PdAdversarial(benchmark::State& state) {
+  const auto inst = workload::adversarial_theorem3(int(state.range(0)),
+                                                   Machine{1, 2.0}, 1e9);
+  for (auto _ : state) {
+    auto result = core::run_pd(inst);
+    benchmark::DoNotOptimize(result.cost.energy);
+  }
+}
+BENCHMARK(BM_PdAdversarial)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lower_bound_series();
+  return pss::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,99 @@
+// THM3-UB — the certified competitive bound of Theorem 3.
+//
+// For every run, cost(PD) / g(lambda-tilde) upper-bounds the realized
+// competitive ratio (weak duality), and Theorem 3 guarantees it stays below
+// alpha^alpha when delta = alpha^(1-alpha). The table sweeps alpha, the
+// machine count and three workload families, reporting the mean and
+// worst certified ratio against the analytic bound.
+#include <vector>
+
+#include "common.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+using model::Machine;
+
+model::Instance make_family(int family, Machine machine, std::uint64_t seed) {
+  switch (family) {
+    case 0: {
+      workload::UniformConfig config;
+      config.num_jobs = 60;
+      config.value_scale = 1.5;
+      return workload::uniform_random(config, machine, seed);
+    }
+    case 1: {
+      workload::PoissonConfig config;
+      config.num_jobs = 60;
+      config.value_scale = 1.5;
+      return workload::poisson_heavy_tail(config, machine, seed);
+    }
+    default: {
+      workload::TightConfig config;
+      config.num_jobs = 50;
+      config.value_scale = 1.0;
+      return workload::tight_laxity(config, machine, seed);
+    }
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0: return "uniform";
+    case 1: return "poisson-pareto";
+    default: return "tight-laxity";
+  }
+}
+
+void upper_bound_table() {
+  bench::print_header(
+      "THM3-UB",
+      "certified ratio cost(PD) / g(lambda~) vs the alpha^alpha bound");
+  util::Table t({"alpha", "m", "family", "seeds", "mean ratio", "max ratio",
+                 "alpha^alpha", "bound holds"});
+  t.set_precision(3);
+  const int seeds = 24;
+  for (double alpha : {1.2, 1.5, 2.0, 2.5, 3.0}) {
+    for (int m : {1, 2, 4, 8}) {
+      for (int family : {0, 1, 2}) {
+        const Machine machine{m, alpha};
+        const auto agg = sim::sweep_seeds(seeds, [&](std::uint64_t seed) {
+          const auto inst = make_family(family, machine, seed);
+          const auto result = core::run_pd(inst);
+          const auto validation =
+              model::validate_schedule(result.schedule, inst);
+          if (!validation.ok)
+            throw std::logic_error("invalid PD schedule: " +
+                                   validation.summary());
+          return result.certified_ratio;
+        });
+        const double bound = bench::alpha_to_alpha(alpha);
+        t.add_row({alpha, (long long)m, std::string(family_name(family)),
+                   (long long)seeds, agg.mean(), agg.max(), bound,
+                   std::string(agg.max() <= bound * (1 + 1e-9) ? "yes"
+                                                               : "NO")});
+      }
+    }
+  }
+  bench::emit(t, "thm3_upper_bound.csv");
+}
+
+void BM_PdUniform60(benchmark::State& state) {
+  const Machine machine{int(state.range(0)), 3.0};
+  const auto inst = make_family(0, machine, 1);
+  for (auto _ : state) {
+    auto result = core::run_pd(inst);
+    benchmark::DoNotOptimize(result.certified_ratio);
+  }
+}
+BENCHMARK(BM_PdUniform60)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  upper_bound_table();
+  return pss::bench::run_benchmarks(argc, argv);
+}

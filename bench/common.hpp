@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary prints its paper-shaped table(s) to stdout, mirrors
+// them to CSV under sim::result_dir(), and then runs its registered
+// google-benchmark timings (kept small so the default `for b in bench/*`
+// loop stays fast).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace pss::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& what) {
+  std::cout << "\n================================================================\n"
+            << experiment_id << " — " << what << "\n"
+            << "================================================================\n";
+}
+
+inline void emit(const util::Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = sim::result_dir() + "/" + csv_name;
+  table.write_csv(path);
+  std::cout << "(csv: " << path << ")\n";
+}
+
+inline double alpha_to_alpha(double alpha) { return std::pow(alpha, alpha); }
+
+/// Standard tail: parse benchmark flags and run the registered timings.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pss::bench

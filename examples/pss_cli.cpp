@@ -1,0 +1,158 @@
+// pss_cli — command-line driver for the library.
+//
+//   pss_cli gen <family> <n> <m> <alpha> <seed> <out.pssi>
+//       families: uniform | poisson | tight | datacenter | adversarial
+//   pss_cli run <algorithm> <in.pssi> [--gantt] [--csv out.csv]
+//       algorithms: pd | oa | qoa | cll | avr
+//   pss_cli validate <in.pssi>
+//
+// Instances travel in the pss-instance v1 text format (src/io), so
+// workloads generated here can be replayed against external schedulers.
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/algorithms.hpp"
+#include "baselines/avr.hpp"
+#include "core/run.hpp"
+#include "io/instance_io.hpp"
+#include "io/schedule_io.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pss;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  pss_cli gen <uniform|poisson|tight|datacenter|adversarial> "
+         "<n> <m> <alpha> <seed> <out.pssi>\n"
+      << "  pss_cli run <pd|oa|qoa|cll|avr> <in.pssi> [--gantt] [--csv F]\n"
+      << "  pss_cli validate <in.pssi>\n";
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 8) return usage();
+  const std::string family = argv[2];
+  const int n = std::atoi(argv[3]);
+  const int m = std::atoi(argv[4]);
+  const double alpha = std::atof(argv[5]);
+  const std::uint64_t seed = std::strtoull(argv[6], nullptr, 10);
+  const model::Machine machine{m, alpha};
+
+  model::Instance instance = [&] {
+    if (family == "uniform") {
+      workload::UniformConfig config;
+      config.num_jobs = n;
+      return workload::uniform_random(config, machine, seed);
+    }
+    if (family == "poisson") {
+      workload::PoissonConfig config;
+      config.num_jobs = n;
+      return workload::poisson_heavy_tail(config, machine, seed);
+    }
+    if (family == "tight") {
+      workload::TightConfig config;
+      config.num_jobs = n;
+      return workload::tight_laxity(config, machine, seed);
+    }
+    if (family == "datacenter") {
+      workload::DatacenterConfig config;
+      config.num_jobs = n;
+      return workload::datacenter_day(config, machine, seed);
+    }
+    if (family == "adversarial")
+      return workload::adversarial_theorem3(n, machine, 1e9);
+    throw std::invalid_argument("unknown family: " + family);
+  }();
+  io::save_instance(argv[7], instance);
+  std::cout << "wrote " << instance.num_jobs() << " jobs to " << argv[7]
+            << "\n";
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string algo = argv[2];
+  const model::Instance instance = io::load_instance(argv[3]);
+  bool gantt = false;
+  std::string csv_path;
+  for (int i = 4; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--gantt")) gantt = true;
+    else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
+      csv_path = argv[++i];
+    else
+      return usage();
+  }
+
+  model::Schedule schedule(instance.machine().num_processors);
+  model::CostBreakdown cost;
+  if (algo == "pd") {
+    auto result = core::run_pd(instance);
+    schedule = std::move(result.schedule);
+    cost = result.cost;
+    std::cout << "certified ratio: " << result.certified_ratio
+              << " (bound alpha^alpha = "
+              << std::pow(instance.machine().alpha, instance.machine().alpha)
+              << ")\n";
+  } else if (algo == "oa" || algo == "qoa" || algo == "cll") {
+    auto result = algo == "oa"    ? baselines::run_oa(instance)
+                  : algo == "qoa" ? baselines::run_qoa(instance)
+                                  : baselines::run_cll(instance);
+    schedule = std::move(result.schedule);
+    cost = result.cost;
+  } else if (algo == "avr") {
+    const auto partition = model::TimePartition::from_jobs(instance.jobs());
+    auto result = baselines::run_avr(instance, partition);
+    schedule = std::move(result.schedule);
+    cost = schedule.cost(instance);
+  } else {
+    return usage();
+  }
+
+  const auto validation = model::validate_schedule(schedule, instance);
+  std::cout << "algorithm : " << algo << "\n"
+            << "energy    : " << cost.energy << "\n"
+            << "lost value: " << cost.lost_value << "\n"
+            << "total cost: " << cost.total() << "\n"
+            << "validation: " << validation.summary() << "\n";
+  if (gantt)
+    io::render_gantt(std::cout, schedule, instance.horizon_start(),
+                     instance.horizon_end());
+  if (!csv_path.empty()) {
+    io::save_schedule_csv(csv_path, schedule);
+    std::cout << "segments written to " << csv_path << "\n";
+  }
+  return validation.ok ? 0 : 1;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const model::Instance instance = io::load_instance(argv[2]);
+  std::cout << "instance ok: " << instance.num_jobs() << " jobs, m = "
+            << instance.machine().num_processors
+            << ", alpha = " << instance.machine().alpha << ", horizon ["
+            << instance.horizon_start() << ", " << instance.horizon_end()
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "validate") return cmd_validate(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,29 @@
+#include "baselines/algorithms.hpp"
+
+#include "util/assert.hpp"
+
+namespace pss::baselines {
+
+double default_qoa_multiplier(double alpha) {
+  PSS_REQUIRE(alpha > 1.0, "alpha must exceed 1");
+  return 2.0 - 1.0 / alpha;
+}
+
+ReplanResult run_oa(const model::Instance& instance) {
+  return run_replan(instance, ReplanOptions{});
+}
+
+ReplanResult run_qoa(const model::Instance& instance, double q) {
+  ReplanOptions options;
+  options.speed_multiplier =
+      q > 0.0 ? q : default_qoa_multiplier(instance.machine().alpha);
+  return run_replan(instance, options);
+}
+
+ReplanResult run_cll(const model::Instance& instance) {
+  ReplanOptions options;
+  options.threshold_admission = true;
+  return run_replan(instance, options);
+}
+
+}  // namespace pss::baselines

@@ -1,0 +1,26 @@
+// Named entry points for the published baseline algorithms, all thin
+// configurations of the replanning engine (see replan_engine.hpp).
+#pragma once
+
+#include "baselines/replan_engine.hpp"
+
+namespace pss::baselines {
+
+/// Optimal Available: replan the energy optimum at every arrival, admit
+/// everything. At m = 1 this is the classical OA; at m > 1 the
+/// Albers–Antoniadis–Greiner extension.
+[[nodiscard]] ReplanResult run_oa(const model::Instance& instance);
+
+/// qOA: execute the OA plan at `q` times its speed. q <= 0 selects the
+/// default q = 2 - 1/alpha suggested by Bansal et al. for low powers.
+[[nodiscard]] ReplanResult run_qoa(const model::Instance& instance,
+                                   double q = 0.0);
+
+/// Chan–Lam–Li: OA planning plus their admission threshold; the profitable
+/// single-processor comparator the paper improves upon.
+[[nodiscard]] ReplanResult run_cll(const model::Instance& instance);
+
+/// Default qOA multiplier for a given alpha.
+[[nodiscard]] double default_qoa_multiplier(double alpha);
+
+}  // namespace pss::baselines

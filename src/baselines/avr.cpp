@@ -1,0 +1,32 @@
+#include "baselines/avr.hpp"
+
+#include "chen/realize.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::baselines {
+
+AvrResult run_avr(const model::Instance& instance,
+                  const model::TimePartition& partition) {
+  PSS_REQUIRE(instance.machine().num_processors == 1,
+              "AVR is defined for a single processor");
+  AvrResult result;
+  result.assignment = model::WorkAssignment(partition.num_intervals());
+  for (const model::Job& job : instance.jobs()) {
+    const auto range = partition.job_range(job);
+    const double density = job.density();
+    for (std::size_t k = range.first; k < range.last; ++k)
+      result.assignment.set_load(k, job.id, density * partition.length(k));
+  }
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    const double load = result.assignment.interval_total(k);
+    if (load > 0.0)
+      result.energy += partition.length(k) *
+                       util::pos_pow(load / partition.length(k),
+                                     instance.machine().alpha);
+  }
+  result.schedule = chen::realize_assignment(result.assignment, partition, 1);
+  return result;
+}
+
+}  // namespace pss::baselines

@@ -1,0 +1,27 @@
+// Average Rate (AVR) — Yao, Demers, Shenker [14], single processor.
+//
+// Every job is processed at its own density w_j / (d_j - r_j), spread
+// uniformly over its availability window; the processor speed at time t is
+// the sum of the densities of the alive jobs. AVR is oblivious to the rest
+// of the workload, which makes it the simplest online baseline: each job
+// finishes exactly at its deadline by construction.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::baselines {
+
+struct AvrResult {
+  model::WorkAssignment assignment;
+  model::Schedule schedule;
+  double energy = 0.0;
+};
+
+/// Runs AVR over the whole instance (single processor required).
+[[nodiscard]] AvrResult run_avr(const model::Instance& instance,
+                                const model::TimePartition& partition);
+
+}  // namespace pss::baselines

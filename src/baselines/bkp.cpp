@@ -1,0 +1,86 @@
+#include "baselines/bkp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::baselines {
+
+namespace {
+
+constexpr double kE = 2.718281828459045;
+
+/// w(t, t1, t2): work of jobs released in [t1, t] with deadline <= t2.
+double window_work(const std::vector<model::Job>& jobs, double t, double t1,
+                   double t2) {
+  double w = 0.0;
+  for (const model::Job& j : jobs)
+    if (j.release >= t1 && j.release <= t && j.deadline <= t2) w += j.work;
+  return w;
+}
+
+double bkp_speed(const std::vector<model::Job>& jobs, double t) {
+  double best = 0.0;
+  for (const model::Job& j : jobs) {
+    const double t2 = j.deadline;
+    if (t2 <= t) continue;
+    const double t1 = kE * t - (kE - 1.0) * t2;
+    const double w = window_work(jobs, t, t1, t2);
+    if (w > 0.0) best = std::max(best, w / (t2 - t1));
+  }
+  return kE * best;
+}
+
+}  // namespace
+
+BkpResult run_bkp(const model::Instance& instance,
+                  const model::TimePartition& partition,
+                  const BkpOptions& options) {
+  PSS_REQUIRE(instance.machine().num_processors == 1,
+              "BKP is defined for a single processor");
+  PSS_REQUIRE(options.samples_per_interval >= 2, "need >= 2 samples");
+  const double alpha = instance.machine().alpha;
+  const std::vector<model::Job>& jobs = instance.jobs();
+
+  BkpResult result;
+  result.unfinished_work.resize(jobs.size());
+  for (const model::Job& j : jobs)
+    result.unfinished_work[std::size_t(j.id)] = j.work;
+
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    const double a = partition.start(k);
+    const double h = partition.length(k) / options.samples_per_interval;
+    for (int i = 0; i < options.samples_per_interval; ++i) {
+      const double t = a + (double(i) + 0.5) * h;  // midpoint rule
+      const double s = bkp_speed(jobs, t);
+      result.energy += h * util::pos_pow(s, alpha);
+      result.max_speed = std::max(result.max_speed, s);
+      // EDF on the grid: give the whole step's work to the earliest-deadline
+      // alive job (splitting at completion boundaries).
+      double budget = s * h;
+      while (budget > 0.0) {
+        model::JobId pick = -1;
+        double best_deadline = util::kInf;
+        for (const model::Job& j : jobs) {
+          if (j.release > t || j.deadline <= t) continue;
+          if (result.unfinished_work[std::size_t(j.id)] <= 1e-12) continue;
+          if (j.deadline < best_deadline) {
+            best_deadline = j.deadline;
+            pick = j.id;
+          }
+        }
+        if (pick < 0) break;
+        double& rem = result.unfinished_work[std::size_t(pick)];
+        const double done = std::min(rem, budget);
+        rem -= done;
+        budget -= done;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pss::baselines

@@ -1,0 +1,36 @@
+// BKP — Bansal, Kimbrel, Pruhs, single processor.
+//
+// At time t the speed is
+//   s(t) = e * max_{t2 > t} w(t, t1, t2) / (t2 - t1),   t1 = e*t - (e-1)*t2,
+// where w(t, t1, t2) is the work of jobs that arrived by t with release in
+// [t1, t] and deadline at most t2. BKP is essentially 2e^(alpha+1)
+// competitive and beats OA for large alpha.
+//
+// Unlike every other algorithm in this repository, s(t) varies continuously
+// between events, so the energy integral is evaluated on a configurable
+// sampling grid per atomic interval (Riemann midpoint; the speed function is
+// piecewise smooth). Tests pin the approximation against refinement.
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+
+namespace pss::baselines {
+
+struct BkpOptions {
+  int samples_per_interval = 256;
+};
+
+struct BkpResult {
+  double energy = 0.0;
+  /// Work remaining per job after running EDF at s(t) on the grid; values
+  /// near zero confirm feasibility despite the discretization.
+  std::vector<double> unfinished_work;
+  double max_speed = 0.0;
+};
+
+[[nodiscard]] BkpResult run_bkp(const model::Instance& instance,
+                                const model::TimePartition& partition,
+                                const BkpOptions& options = {});
+
+}  // namespace pss::baselines

@@ -1,0 +1,168 @@
+#include "baselines/replan_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "chen/interval_schedule.hpp"
+#include "chen/realize.hpp"
+#include "core/rejection.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::baselines {
+
+namespace {
+
+/// A plan for the future: partition starting at plan-time plus assignment,
+/// with plan-local job ids mapped back to instance ids.
+struct Plan {
+  model::TimePartition partition;
+  model::WorkAssignment assignment;
+  std::vector<model::JobId> local_to_global;
+  bool empty = true;
+};
+
+Plan make_plan(const model::Instance& instance,
+               const std::map<model::JobId, double>& remaining, double now,
+               const convex::SolverOptions& solver_options) {
+  Plan plan;
+  std::vector<model::Job> local_jobs;
+  for (const auto& [id, work] : remaining) {
+    const model::Job& job = instance.job(id);
+    PSS_CHECK(job.deadline > now + 1e-12, "admitted job already past deadline");
+    model::Job clipped = job;
+    clipped.id = model::JobId(local_jobs.size());
+    clipped.release = now;  // remaining work is available immediately
+    clipped.work = work;
+    local_jobs.push_back(clipped);
+    plan.local_to_global.push_back(id);
+  }
+  if (local_jobs.empty()) return plan;
+  const model::Instance local =
+      model::Instance(instance.machine(), std::move(local_jobs));
+  plan.partition = model::TimePartition::from_jobs(local.jobs());
+  std::vector<model::JobId> ids(local.num_jobs());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = model::JobId(i);
+  plan.assignment =
+      convex::minimize_energy(local, plan.partition, ids, solver_options)
+          .assignment;
+  plan.empty = false;
+  return plan;
+}
+
+/// Max speed at which plan-local job `local_id` is processed anywhere.
+double planned_speed(const Plan& plan, const model::Instance& instance,
+                     model::JobId local_id) {
+  double speed = 0.0;
+  for (std::size_t k = 0; k < plan.partition.num_intervals(); ++k) {
+    if (plan.assignment.load_of(k, local_id) <= 0.0) continue;
+    chen::IntervalSolution solution(plan.assignment.loads(k),
+                                    instance.machine().num_processors,
+                                    plan.partition.length(k));
+    speed = std::max(speed, solution.speed_of(local_id));
+  }
+  return speed;
+}
+
+}  // namespace
+
+ReplanResult run_replan(const model::Instance& instance,
+                        const ReplanOptions& options) {
+  PSS_REQUIRE(options.speed_multiplier >= 1.0,
+              "speed multiplier below 1 would miss deadlines");
+  const double q = options.speed_multiplier;
+  const double alpha = instance.machine().alpha;
+  const int m = instance.machine().num_processors;
+
+  ReplanResult result;
+  result.schedule = model::Schedule(m);
+  result.admitted.assign(instance.num_jobs(), false);
+
+  std::map<model::JobId, double> remaining;  // admitted, unfinished
+  Plan plan;
+
+  // Execute `plan` over real time [t0, t1), subtracting processed work.
+  auto execute = [&](double t0, double t1) {
+    if (plan.empty || t1 <= t0) return;
+    for (std::size_t k = 0; k < plan.partition.num_intervals(); ++k) {
+      const double a = plan.partition.start(k);
+      const double b = plan.partition.end(k);
+      if (a >= t1) break;
+      if (plan.assignment.loads(k).empty()) continue;
+      chen::IntervalSolution solution(plan.assignment.loads(k), m, b - a);
+      model::Schedule interval_schedule(m);
+      chen::realize_interval(solution, a, interval_schedule);
+      for (int p = 0; p < m; ++p) {
+        for (model::Segment seg : interval_schedule.processor(p)) {
+          // Compress toward the interval start for q > 1, then clip at t1.
+          seg.start = a + (seg.start - a) / q;
+          seg.end = a + (seg.end - a) / q;
+          seg.speed *= q;
+          if (seg.start >= t1) continue;
+          seg.end = std::min(seg.end, t1);
+          if (seg.end <= seg.start) continue;
+          const model::JobId global = plan.local_to_global[std::size_t(seg.job)];
+          seg.job = global;
+          result.schedule.add_segment(p, seg);
+          auto it = remaining.find(global);
+          PSS_CHECK(it != remaining.end(), "executed an unknown job");
+          it->second -= seg.work();
+        }
+      }
+    }
+    // Drop finished jobs (tolerate fp dust).
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      if (it->second <= 1e-9 * std::max(1.0, instance.job(it->first).work))
+        it = remaining.erase(it);
+      else
+        ++it;
+    }
+  };
+
+  const std::vector<model::Job> arrivals = instance.jobs_by_release();
+  std::size_t i = 0;
+  double now = arrivals.empty() ? 0.0 : arrivals.front().release;
+  while (i < arrivals.size()) {
+    const double t = arrivals[i].release;
+    execute(now, t);
+    now = t;
+    // Admit all jobs arriving at time t (sequentially, like the online
+    // algorithm would process back-to-back arrivals).
+    while (i < arrivals.size() && arrivals[i].release == t) {
+      const model::Job& job = arrivals[i];
+      bool admit = true;
+      if (options.threshold_admission && job.rejectable()) {
+        std::map<model::JobId, double> tentative = remaining;
+        tentative[job.id] = job.work;
+        const Plan trial = make_plan(instance, tentative, t, options.solver);
+        // Locate the candidate's plan-local id.
+        model::JobId local = -1;
+        for (std::size_t li = 0; li < trial.local_to_global.size(); ++li)
+          if (trial.local_to_global[li] == job.id) local = model::JobId(li);
+        PSS_CHECK(local >= 0, "candidate missing from tentative plan");
+        const double speed = planned_speed(trial, instance, local);
+        admit = speed <= core::cll_threshold_speed(job.value, job.work, alpha) *
+                             (1.0 + 1e-12);
+      }
+      if (admit) {
+        result.admitted[std::size_t(job.id)] = true;
+        remaining[job.id] = job.work;
+      } else {
+        result.schedule.mark_rejected(job.id);
+      }
+      ++i;
+    }
+    plan = make_plan(instance, remaining, t, options.solver);
+    ++result.replans;
+  }
+  execute(now, util::kInf);
+  PSS_CHECK(remaining.empty(), "work left over after the final plan");
+
+  result.cost = result.schedule.cost(instance);
+  return result;
+}
+
+}  // namespace pss::baselines

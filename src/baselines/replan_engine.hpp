@@ -1,0 +1,48 @@
+// Replanning execution engine: the family of Optimal-Available-style
+// algorithms.
+//
+// At every arrival the engine recomputes an energy-optimal plan for the
+// *remaining* work of all admitted jobs (the defining property of OA) and
+// executes it until the next arrival. Four published algorithms are
+// configurations of this one engine:
+//
+//   * OA  (Yao–Demers–Shenker):        always admit, multiplier 1, m = 1
+//   * OA-m (Albers–Antoniadis–Greiner): always admit, multiplier 1, m >= 1
+//   * qOA (Bansal–Chan–Katz–Pruhs):    always admit, speed multiplier q > 1
+//   * CLL (Chan–Lam–Li [10]):          threshold admission, multiplier 1
+//
+// Planning uses the offline convex solver (== YDS at m = 1; tests verify).
+// Executing a plan at q times its speed compresses each interval's segments
+// toward the interval start, which preserves feasibility (finishing earlier
+// can only help) and the McNaughton non-self-overlap property.
+#pragma once
+
+#include <vector>
+
+#include "convex/solver.hpp"
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+
+namespace pss::baselines {
+
+struct ReplanOptions {
+  /// Execute at this multiple of the planned speed (qOA). Must be >= 1.
+  double speed_multiplier = 1.0;
+  /// Apply the Chan–Lam–Li admission threshold to rejectable jobs: a job is
+  /// admitted iff its planned speed in the tentative OA schedule is at most
+  /// alpha^((alpha-2)/(alpha-1)) * (v/w)^(1/(alpha-1)).
+  bool threshold_admission = false;
+  convex::SolverOptions solver;
+};
+
+struct ReplanResult {
+  model::Schedule schedule;
+  model::CostBreakdown cost;
+  std::vector<bool> admitted;  // per job id
+  int replans = 0;
+};
+
+[[nodiscard]] ReplanResult run_replan(const model::Instance& instance,
+                                      const ReplanOptions& options = {});
+
+}  // namespace pss::baselines

@@ -1,0 +1,190 @@
+#include "baselines/yds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::baselines {
+
+namespace {
+
+struct ActiveInterval {
+  std::size_t orig_k;
+  double length;
+};
+
+struct PendingJob {
+  model::JobId id;
+  double work;
+  std::size_t a;  // window start (position into the active list)
+  std::size_t b;  // window end (exclusive)
+};
+
+/// EDF at constant speed over the compressed window [positions x..y of
+/// `active`); writes per-original-interval loads into `assignment`.
+void edf_fill(const std::vector<ActiveInterval>& active, std::size_t x,
+              std::size_t y, double speed, std::vector<PendingJob> jobs,
+              const std::vector<double>& plen,
+              model::WorkAssignment& assignment) {
+  const double window_start = plen[x];
+  auto pos_time = [&](std::size_t p) { return plen[p] - window_start; };
+
+  // Record `work` units for `job` over compressed [t0, t1).
+  auto record = [&](model::JobId job, double t0, double t1) {
+    std::size_t k = x;
+    while (k < y && pos_time(k + 1) <= t0 + 1e-15) ++k;
+    double cursor = t0;
+    while (cursor < t1 - 1e-15 && k < y) {
+      const double seg_end = std::min(t1, pos_time(k + 1));
+      const double add = speed * (seg_end - cursor);
+      const std::size_t orig = active[k].orig_k;
+      assignment.set_load(orig, job, assignment.load_of(orig, job) + add);
+      cursor = seg_end;
+      ++k;
+    }
+  };
+
+  std::sort(jobs.begin(), jobs.end(), [&](const PendingJob& p, const PendingJob& q) {
+    return pos_time(p.a) < pos_time(q.a);
+  });
+
+  struct HeapEntry {
+    double deadline;  // compressed
+    double remaining;
+    model::JobId id;
+    bool operator>(const HeapEntry& o) const { return deadline > o.deadline; }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> ready;
+
+  double t = 0.0;
+  std::size_t next = 0;
+  const double total_len = plen[y] - plen[x];
+  while (next < jobs.size() || !ready.empty()) {
+    if (ready.empty()) {
+      PSS_CHECK(next < jobs.size(), "EDF ran dry");
+      t = std::max(t, pos_time(jobs[next].a));
+    }
+    while (next < jobs.size() && pos_time(jobs[next].a) <= t + 1e-12) {
+      ready.push({pos_time(jobs[next].b), jobs[next].work, jobs[next].id});
+      ++next;
+    }
+    if (ready.empty()) continue;
+    HeapEntry top = ready.top();
+    ready.pop();
+    const double next_release =
+        next < jobs.size() ? pos_time(jobs[next].a) : util::kInf;
+    const double finish = t + top.remaining / speed;
+    const double run_until = std::min(finish, next_release);
+    if (run_until > t) {
+      record(top.id, t, run_until);
+      top.remaining -= speed * (run_until - t);
+      t = run_until;
+    }
+    if (top.remaining > 1e-9 * std::max(1.0, top.remaining + speed)) {
+      ready.push(top);
+    } else {
+      PSS_CHECK(t <= top.deadline + 1e-7 * std::max(1.0, total_len),
+                "EDF missed a deadline inside a YDS peel");
+    }
+  }
+}
+
+}  // namespace
+
+YdsResult yds(const model::Instance& instance,
+              const model::TimePartition& partition,
+              const std::vector<model::JobId>& job_ids) {
+  PSS_REQUIRE(instance.machine().num_processors == 1,
+              "YDS is the single-processor optimum; use the convex solver "
+              "for m > 1");
+  const double alpha = instance.machine().alpha;
+
+  YdsResult result;
+  result.assignment = model::WorkAssignment(partition.num_intervals());
+  result.job_speed.assign(instance.num_jobs(), 0.0);
+
+  std::vector<ActiveInterval> active;
+  active.reserve(partition.num_intervals());
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k)
+    active.push_back({k, partition.length(k)});
+
+  std::vector<PendingJob> pending;
+  pending.reserve(job_ids.size());
+  for (model::JobId id : job_ids) {
+    const model::Job& job = instance.job(id);
+    const auto range = partition.job_range(job);
+    pending.push_back({id, job.work, range.first, range.last});
+  }
+
+  while (!pending.empty()) {
+    const std::size_t A = active.size();
+    std::vector<double> plen(A + 1, 0.0);
+    for (std::size_t k = 0; k < A; ++k)
+      plen[k + 1] = plen[k] + active[k].length;
+
+    // Maximum-density window over position pairs.
+    double best_density = -1.0;
+    std::size_t best_x = 0, best_y = 0;
+    std::vector<double> bucket(A + 1, 0.0);
+    for (std::size_t x = A; x-- > 0;) {
+      for (const PendingJob& j : pending)
+        if (j.a == x) bucket[j.b] += j.work;
+      double cum = 0.0;
+      for (std::size_t y = x + 1; y <= A; ++y) {
+        cum += bucket[y];
+        if (cum <= 0.0) continue;
+        const double density = cum / (plen[y] - plen[x]);
+        if (density > best_density) {
+          best_density = density;
+          best_x = x;
+          best_y = y;
+        }
+      }
+    }
+    PSS_CHECK(best_density > 0.0, "no dense window but jobs remain");
+
+    // Peel: contained jobs run at best_density inside [best_x, best_y).
+    std::vector<PendingJob> contained;
+    std::vector<PendingJob> rest;
+    for (const PendingJob& j : pending) {
+      if (j.a >= best_x && j.b <= best_y)
+        contained.push_back(j);
+      else
+        rest.push_back(j);
+    }
+    PSS_CHECK(!contained.empty(), "dense window contains no job");
+    for (const PendingJob& j : contained)
+      result.job_speed[std::size_t(j.id)] = best_density;
+    edf_fill(active, best_x, best_y, best_density, contained, plen,
+             result.assignment);
+
+    // Excise the window; clip the remaining jobs' position windows.
+    const std::size_t removed = best_y - best_x;
+    active.erase(active.begin() + std::ptrdiff_t(best_x),
+                 active.begin() + std::ptrdiff_t(best_y));
+    for (PendingJob& j : rest) {
+      auto remap = [&](std::size_t p) {
+        if (p <= best_x) return p;
+        if (p >= best_y) return p - removed;
+        return best_x;
+      };
+      j.a = remap(j.a);
+      j.b = remap(j.b);
+      PSS_CHECK(j.a < j.b, "remaining job lost its whole window");
+    }
+    pending = std::move(rest);
+  }
+
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    const double load = result.assignment.interval_total(k);
+    if (load > 0.0)
+      result.energy += partition.length(k) *
+                       util::pos_pow(load / partition.length(k), alpha);
+  }
+  return result;
+}
+
+}  // namespace pss::baselines

@@ -1,0 +1,37 @@
+// Exact YDS (Yao, Demers, Shenker [14]) for a single processor.
+//
+// The classical offline optimum for finishing all jobs: repeatedly find the
+// maximum-density time window (total work of fully contained jobs divided by
+// window length), run those jobs there at that constant speed under EDF,
+// then excise the window from the timeline and recurse on the rest.
+//
+// Serves three roles in this repository:
+//   * OPT for the classical model at m = 1 (Theorem 3's lower-bound
+//     instance measures PD against it),
+//   * the planning step of Optimal Available and its derivatives
+//     (src/baselines/replan_engine),
+//   * an independent combinatorial cross-check of the convex solver
+//     (they must agree at m = 1; tests enforce this).
+#pragma once
+
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::baselines {
+
+struct YdsResult {
+  model::WorkAssignment assignment;  // per-interval loads over `partition`
+  double energy = 0.0;
+  /// Speed of the peel each job was scheduled in, per job id (0 if the job
+  /// was not part of the input subset).
+  std::vector<double> job_speed;
+};
+
+/// Computes the YDS optimum for the given subset of jobs (all ids for the
+/// full instance). Requires a single-processor machine.
+[[nodiscard]] YdsResult yds(const model::Instance& instance,
+                            const model::TimePartition& partition,
+                            const std::vector<model::JobId>& job_ids);
+
+}  // namespace pss::baselines

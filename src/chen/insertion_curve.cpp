@@ -1,0 +1,117 @@
+#include "chen/insertion_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pss::chen {
+
+namespace {
+
+/// d(s) and R(s) for sorted-descending loads: d = #loads strictly above
+/// s*l, R = total minus the d largest.
+struct PoolState {
+  std::size_t dedicated;
+  double pool_load;
+};
+
+PoolState pool_state(const std::vector<double>& sorted_desc,
+                     const std::vector<double>& prefix_sums, double level) {
+  // First index whose load is <= level  ==> number of loads > level.
+  auto it = std::lower_bound(sorted_desc.begin(), sorted_desc.end(), level,
+                             [](double load, double lv) { return load > lv; });
+  const std::size_t d = std::size_t(it - sorted_desc.begin());
+  const double total = prefix_sums.back();
+  return {d, total - prefix_sums[d]};
+}
+
+}  // namespace
+
+double insertion_amount(const std::vector<double>& sorted_loads_desc,
+                        int num_processors, double length, double speed) {
+  PSS_REQUIRE(num_processors >= 1 && length > 0.0, "bad interval parameters");
+  if (speed <= 0.0) return 0.0;
+  std::vector<double> prefix(sorted_loads_desc.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted_loads_desc.size(); ++i)
+    prefix[i + 1] = prefix[i] + sorted_loads_desc[i];
+  const PoolState st =
+      pool_state(sorted_loads_desc, prefix, speed * length);
+  if (st.dedicated >= std::size_t(num_processors)) return 0.0;
+  const double pool_procs = double(num_processors) - double(st.dedicated);
+  const double pool_branch = pool_procs * length * speed - st.pool_load;
+  const double dedicated_branch = speed * length;
+  return std::max(0.0, std::min(pool_branch, dedicated_branch));
+}
+
+util::PiecewiseLinear insertion_curve(std::vector<double> other_loads,
+                                      int num_processors, double length) {
+  PSS_REQUIRE(num_processors >= 1 && length > 0.0, "bad interval parameters");
+  std::vector<double> u;
+  u.reserve(other_loads.size());
+  for (double x : other_loads) {
+    PSS_REQUIRE(x >= 0.0 && std::isfinite(x), "loads must be >= 0 and finite");
+    if (x > 0.0) u.push_back(x);
+  }
+  std::sort(u.begin(), u.end(), std::greater<>());
+  std::vector<double> prefix(u.size() + 1, 0.0);
+  for (std::size_t i = 0; i < u.size(); ++i) prefix[i + 1] = prefix[i] + u[i];
+  const double total = prefix.back();
+
+  // Candidate speeds where the curve can change slope: the thresholds
+  // u_i / l (where a dedicated job dissolves into the pool) plus, per linear
+  // segment, the clamp crossings of the two min/max branches.
+  std::vector<double> candidates{0.0};
+  for (double load : u) candidates.push_back(load / length);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<double> extra;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double a = candidates[i];
+    const double b = (i + 1 < candidates.size()) ? candidates[i + 1] : inf;
+    // Segment-constant pool state: probe just inside the segment.
+    const double probe = std::isinf(b) ? a + 1.0 : 0.5 * (a + b);
+    const PoolState st = pool_state(u, prefix, probe * length);
+    if (st.dedicated >= std::size_t(num_processors)) continue;
+    const double c = (double(num_processors) - double(st.dedicated)) * length;
+    // pool branch: c*s - R; crossings with 0 and with length*s.
+    if (c > 0.0 && st.pool_load > 0.0) {
+      const double zero_cross = st.pool_load / c;
+      if (zero_cross > a && zero_cross < b) extra.push_back(zero_cross);
+    }
+    if (c > length && st.pool_load > 0.0) {
+      const double min_cross = st.pool_load / (c - length);
+      if (min_cross > a && min_cross < b) extra.push_back(min_cross);
+    }
+  }
+  candidates.insert(candidates.end(), extra.begin(), extra.end());
+  // One candidate beyond the largest threshold so the final linear piece
+  // (slope l) anchors correctly even when the last crossing is far out.
+  const double top = std::max(candidates.empty() ? 0.0 : candidates.back(),
+                              (total > 0.0 ? 2.0 * total / length : 1.0));
+  candidates.push_back(top + 1.0);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<util::PiecewiseLinear::Knot> knots;
+  knots.reserve(candidates.size());
+  for (double s : candidates) {
+    double z = 0.0;
+    if (s > 0.0) {
+      const PoolState st = pool_state(u, prefix, s * length);
+      if (st.dedicated < std::size_t(num_processors)) {
+        const double c =
+            (double(num_processors) - double(st.dedicated)) * length;
+        z = std::max(0.0, std::min(c * s - st.pool_load, s * length));
+      }
+    }
+    knots.push_back({s, z});
+  }
+  return util::PiecewiseLinear::from_knots(std::move(knots), length);
+}
+
+}  // namespace pss::chen

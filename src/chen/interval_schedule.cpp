@@ -1,0 +1,119 @@
+#include "chen/interval_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::chen {
+
+IntervalSolution::IntervalSolution(std::vector<model::Load> loads,
+                                   int num_processors, double length)
+    : m_(num_processors), length_(length) {
+  PSS_REQUIRE(num_processors >= 1, "need at least one processor");
+  PSS_REQUIRE(length > 0.0, "interval length must be positive");
+  sorted_.reserve(loads.size());
+  for (const model::Load& l : loads) {
+    PSS_REQUIRE(l.amount >= 0.0, "loads must be nonnegative");
+    if (l.amount > 0.0) sorted_.push_back(l);
+  }
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const model::Load& a, const model::Load& b) {
+              if (a.amount != b.amount) return a.amount > b.amount;
+              return a.job < b.job;  // deterministic tie-break
+            });
+
+  // Suffix sums: suffix[j] = sum of loads after sorted index j.
+  double total = 0.0;
+  for (const model::Load& l : sorted_) total += l.amount;
+
+  // Dedicated prefix per Eq. (5): job at sorted position j (0-based) is
+  // dedicated iff j < m and u_j * (m - j - 1) >= suffix (with the j = m-1
+  // corner: dedicated iff nothing remains after it). The prefix property
+  // (if j fails then j+1 fails) makes a greedy scan exact.
+  double suffix = total;
+  dedicated_ = 0;
+  for (std::size_t j = 0; j < sorted_.size() && j < std::size_t(m_); ++j) {
+    const double u = sorted_[j].amount;
+    suffix -= u;
+    const double slots_left = double(m_) - double(j) - 1.0;
+    const bool dedicated =
+        (slots_left > 0.0) ? (u * slots_left >= suffix) : (suffix <= 0.0);
+    if (!dedicated) break;
+    ++dedicated_;
+  }
+  pool_total_ = 0.0;
+  for (std::size_t j = dedicated_; j < sorted_.size(); ++j)
+    pool_total_ += sorted_[j].amount;
+  const std::size_t pool_procs = std::size_t(m_) - dedicated_;
+  if (pool_procs == 0) {
+    // The greedy prefix claimed every processor; any residue here is
+    // floating-point dust from upstream water-filling, not real work.
+    PSS_CHECK(pool_total_ <= 1e-9 * std::max(1.0, total),
+              "pool work left but no pool processors");
+    pool_total_ = 0.0;
+  }
+  pool_speed_ =
+      (pool_procs > 0 && pool_total_ > 0.0)
+          ? pool_total_ / (double(pool_procs) * length_)
+          : 0.0;
+  // Structural sanity: every pool load fits one pool processor.
+  if (dedicated_ < sorted_.size() && pool_speed_ > 0.0)
+    PSS_CHECK(sorted_[dedicated_].amount <=
+                  pool_speed_ * length_ * (1.0 + 1e-9),
+              "pool job exceeds pool capacity (dedicated split wrong)");
+}
+
+double IntervalSolution::speed_of(model::JobId job) const {
+  for (std::size_t j = 0; j < sorted_.size(); ++j) {
+    if (sorted_[j].job != job) continue;
+    return is_dedicated(j) ? sorted_[j].amount / length_ : pool_speed_;
+  }
+  return 0.0;
+}
+
+std::vector<double> IntervalSolution::processor_speeds() const {
+  std::vector<double> speeds;
+  speeds.reserve(std::size_t(m_));
+  for (std::size_t j = 0; j < dedicated_; ++j)
+    speeds.push_back(sorted_[j].amount / length_);
+  for (std::size_t p = dedicated_; p < std::size_t(m_); ++p)
+    speeds.push_back(pool_speed_);
+  return speeds;
+}
+
+double IntervalSolution::slowest_speed() const {
+  if (dedicated_ < std::size_t(m_)) return pool_speed_;
+  return sorted_[dedicated_ - 1].amount / length_;  // m dedicated jobs
+}
+
+double IntervalSolution::load_on_processor(std::size_t i) const {
+  PSS_REQUIRE(i < std::size_t(m_), "processor index out of range");
+  if (i < dedicated_) return sorted_[i].amount;
+  const std::size_t pool_procs = std::size_t(m_) - dedicated_;
+  return pool_procs > 0 ? pool_total_ / double(pool_procs) : 0.0;
+}
+
+double IntervalSolution::energy(double alpha) const {
+  double e = 0.0;
+  for (std::size_t j = 0; j < dedicated_; ++j)
+    e += length_ * util::pos_pow(sorted_[j].amount / length_, alpha);
+  const std::size_t pool_procs = std::size_t(m_) - dedicated_;
+  if (pool_procs > 0 && pool_speed_ > 0.0)
+    e += double(pool_procs) * length_ * util::pos_pow(pool_speed_, alpha);
+  return e;
+}
+
+double interval_energy(std::vector<model::Load> loads, int num_processors,
+                       double length, double alpha) {
+  return IntervalSolution(std::move(loads), num_processors, length)
+      .energy(alpha);
+}
+
+double interval_energy_derivative(const IntervalSolution& solution,
+                                  model::JobId job, double alpha) {
+  const double s = solution.speed_of(job);
+  return alpha * util::pos_pow(s, alpha - 1.0);
+}
+
+}  // namespace pss::chen

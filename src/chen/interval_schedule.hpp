@@ -1,0 +1,87 @@
+// Chen et al.'s per-interval energy-optimal multiprocessor scheduling
+// (reference [11] of the paper; Section 2.2).
+//
+// Given a fixed work assignment u_1, ..., u_p for one atomic interval of
+// length l on m processors, the energy-minimal schedule has a simple
+// structure (Eq. 5): jobs larger than the average of the remaining work get
+// a *dedicated* processor at constant speed u_j / l; everything else shares
+// the remaining *pool* processors, all running at one common pool speed.
+// The interval's minimum energy as a function of the assignment is the
+// convex function P_k of Eq. 6, whose partial derivatives (Proposition 1)
+// drive the primal-dual algorithm.
+#pragma once
+
+#include <vector>
+
+#include "model/work_assignment.hpp"
+
+namespace pss::chen {
+
+/// The solved structure of one atomic interval.
+class IntervalSolution {
+ public:
+  /// Solves the interval: loads with amount <= 0 are dropped, the rest is
+  /// sorted descending and split into dedicated prefix + pool suffix.
+  /// Requires: number of positive loads may exceed m only if their total
+  /// fits the pool (always true — speeds are unbounded), m >= 1, length > 0.
+  IntervalSolution(std::vector<model::Load> loads, int num_processors,
+                   double length);
+
+  [[nodiscard]] int num_processors() const { return m_; }
+  [[nodiscard]] double length() const { return length_; }
+
+  /// Loads sorted by amount descending (positive loads only).
+  [[nodiscard]] const std::vector<model::Load>& sorted_loads() const {
+    return sorted_;
+  }
+
+  /// Number of dedicated jobs (the prefix of sorted_loads).
+  [[nodiscard]] std::size_t dedicated_count() const { return dedicated_; }
+
+  /// Common speed of the pool processors (0 when there is no pool work).
+  [[nodiscard]] double pool_speed() const { return pool_speed_; }
+
+  /// True if the given sorted index is a dedicated job.
+  [[nodiscard]] bool is_dedicated(std::size_t sorted_index) const {
+    return sorted_index < dedicated_;
+  }
+
+  /// Speed at which job `job` is processed (Proposition 1(b)); 0 if absent.
+  [[nodiscard]] double speed_of(model::JobId job) const;
+
+  /// Speeds of all m processors, descending (pool processors all equal;
+  /// idle processors report 0).
+  [[nodiscard]] std::vector<double> processor_speeds() const;
+
+  /// Speed of the slowest processor == the marginal speed an infinitesimal
+  /// new job would experience here.
+  [[nodiscard]] double slowest_speed() const;
+
+  /// Workload on the i-th fastest processor (i in [0, m)), as used by
+  /// Proposition 2.
+  [[nodiscard]] double load_on_processor(std::size_t i) const;
+
+  /// Interval energy P_k(assignment) = sum over processors of l * speed^alpha.
+  [[nodiscard]] double energy(double alpha) const;
+
+ private:
+  std::vector<model::Load> sorted_;
+  std::size_t dedicated_ = 0;
+  double pool_speed_ = 0.0;
+  double pool_total_ = 0.0;
+  int m_ = 1;
+  double length_ = 1.0;
+};
+
+/// Convenience: P_k(loads) without keeping the solution object.
+[[nodiscard]] double interval_energy(std::vector<model::Load> loads,
+                                     int num_processors, double length,
+                                     double alpha);
+
+/// Partial derivative of P_k with respect to the *load* (absolute work) of
+/// `job`: equals P_alpha'(s_j) where s_j is the job's speed (Prop. 1(b)
+/// divided by w_j, since we differentiate by u_{jk} = x_{jk} w_j).
+[[nodiscard]] double interval_energy_derivative(
+    const IntervalSolution& solution, model::JobId job, double alpha);
+
+}  // namespace pss::chen

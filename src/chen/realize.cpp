@@ -1,0 +1,77 @@
+#include "chen/realize.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pss::chen {
+
+void realize_interval(const IntervalSolution& solution, double t0,
+                      model::Schedule& out) {
+  const double l = solution.length();
+  const int m = solution.num_processors();
+  const auto& sorted = solution.sorted_loads();
+  const std::size_t d = solution.dedicated_count();
+
+  for (std::size_t j = 0; j < d; ++j) {
+    out.add_segment(int(j), {t0, t0 + l, sorted[j].amount / l, sorted[j].job});
+  }
+  const double pool_speed = solution.pool_speed();
+  if (pool_speed <= 0.0) return;
+
+  // McNaughton wrap-around over processors d..m-1. A pool job's processing
+  // time never exceeds l mathematically (u_i <= pool_speed * l), so each
+  // job wraps at most once and the wrapped piece [0, y) must satisfy
+  // y <= x, where x is the first piece's start offset — that is exactly
+  // what makes the two pieces disjoint in time. We enforce the cap
+  // structurally; anything it cuts off is floating-point dust.
+  int proc = int(d);
+  double cursor = 0.0;  // time offset within the interval on `proc`
+  for (std::size_t j = d; j < sorted.size(); ++j) {
+    double remaining = sorted[j].amount / pool_speed;  // processing time
+    const double first_offset = cursor;
+    bool wrapped = false;
+    while (remaining > 1e-15 * l) {
+      double cap = (proc < m) ? l - cursor : 0.0;
+      if (wrapped) cap = std::min(cap, first_offset - cursor);
+      if (cap <= 0.0) {
+        PSS_CHECK(remaining <= 1e-9 * l,
+                  "McNaughton dropped more than rounding dust");
+        break;
+      }
+      const double chunk = std::min(remaining, cap);
+      const double seg_start = t0 + cursor;
+      const double seg_end = t0 + cursor + chunk;
+      // A chunk below one ulp of the absolute time coordinate would
+      // produce an empty segment; it carries no representable work.
+      if (seg_end > seg_start)
+        out.add_segment(proc, {seg_start, seg_end, pool_speed,
+                               sorted[j].job});
+      cursor += chunk;
+      remaining -= chunk;
+      if (cursor >= l - 1e-15 * l) {
+        ++proc;
+        cursor = 0.0;
+        wrapped = true;
+      }
+    }
+  }
+}
+
+model::Schedule realize_assignment(const model::WorkAssignment& assignment,
+                                   const model::TimePartition& partition,
+                                   int num_processors) {
+  PSS_REQUIRE(assignment.num_intervals() == partition.num_intervals(),
+              "assignment and partition size mismatch");
+  model::Schedule schedule(num_processors);
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    const auto& loads = assignment.loads(k);
+    if (loads.empty()) continue;
+    IntervalSolution solution(loads, num_processors, partition.length(k));
+    realize_interval(solution, partition.start(k), schedule);
+  }
+  schedule.normalize();
+  return schedule;
+}
+
+}  // namespace pss::chen

@@ -1,0 +1,28 @@
+// Turns per-interval work assignments into a concrete migration schedule.
+//
+// Dedicated jobs occupy their own processor for the whole interval at
+// constant speed. Pool jobs are laid out by McNaughton's wrap-around rule
+// over the pool processors, all of which run at the common pool speed; a job
+// whose slice wraps from the end of one processor to the start of the next
+// never overlaps itself in time because every pool load fits within one
+// processor-interval (guaranteed by the dedicated/pool split).
+#pragma once
+
+#include "chen/interval_schedule.hpp"
+#include "model/schedule.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::chen {
+
+/// Emits the segments of one solved interval [t0, t0 + length) into `out`.
+void realize_interval(const IntervalSolution& solution, double t0,
+                      model::Schedule& out);
+
+/// Builds the complete schedule for a work assignment over a partition by
+/// solving and realizing every atomic interval.
+[[nodiscard]] model::Schedule realize_assignment(
+    const model::WorkAssignment& assignment,
+    const model::TimePartition& partition, int num_processors);
+
+}  // namespace pss::chen

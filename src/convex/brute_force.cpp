@@ -1,0 +1,63 @@
+#include "convex/brute_force.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/parallel.hpp"
+
+namespace pss::convex {
+
+BruteForceResult brute_force_opt(const model::Instance& instance,
+                                 const model::TimePartition& partition,
+                                 int max_jobs,
+                                 const SolverOptions& solver_options) {
+  const std::size_t n = instance.num_jobs();
+  PSS_REQUIRE(n <= std::size_t(max_jobs),
+              "instance too large for brute force");
+
+  // Must-finish jobs are accepted in every subset.
+  std::uint64_t forced = 0;
+  for (const model::Job& job : instance.jobs())
+    if (!job.rejectable()) forced |= (std::uint64_t(1) << job.id);
+
+  const std::uint64_t num_masks = std::uint64_t(1) << n;
+  BruteForceResult best;
+  best.cost = util::kInf;
+  std::mutex best_mutex;
+
+  util::parallel_for(0, std::size_t(num_masks), [&](std::size_t mask_index) {
+    const auto mask = std::uint64_t(mask_index);
+    if ((mask & forced) != forced) return;  // would reject a must-finish job
+    std::vector<model::JobId> accepted_ids;
+    double lost = 0.0;
+    for (const model::Job& job : instance.jobs()) {
+      if (mask & (std::uint64_t(1) << job.id))
+        accepted_ids.push_back(job.id);
+      else
+        lost += job.value;
+    }
+    double energy = 0.0;
+    model::WorkAssignment assignment(partition.num_intervals());
+    if (!accepted_ids.empty()) {
+      SolverResult solved =
+          minimize_energy(instance, partition, accepted_ids, solver_options);
+      energy = solved.objective;
+      assignment = std::move(solved.assignment);
+    }
+    const double cost = energy + lost;
+    std::lock_guard lock(best_mutex);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.energy = energy;
+      best.lost_value = lost;
+      best.assignment = std::move(assignment);
+      best.accepted.assign(n, false);
+      for (model::JobId id : accepted_ids) best.accepted[std::size_t(id)] = true;
+    }
+  });
+  PSS_CHECK(std::isfinite(best.cost), "brute force found no candidate");
+  return best;
+}
+
+}  // namespace pss::convex

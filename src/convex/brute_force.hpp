@@ -1,0 +1,32 @@
+// Exact optimum of the integral problem (IMP) for small instances.
+//
+// Enumerates every accept/reject subset; for each accepted subset the
+// energy-minimal schedule comes from the convex solver, and the rejected
+// values are charged on top (Eq. 1). Exponential in n (guarded), used by
+// the duality-gap experiments and for exact competitive ratios in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convex/solver.hpp"
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+
+namespace pss::convex {
+
+struct BruteForceResult {
+  double cost = 0.0;
+  double energy = 0.0;
+  double lost_value = 0.0;
+  std::vector<bool> accepted;  // per job id
+  model::WorkAssignment assignment;
+};
+
+/// Exact OPT over all accept/reject decisions. Requires n <= max_jobs
+/// (default 16 => 65536 convex solves; runs multithreaded).
+[[nodiscard]] BruteForceResult brute_force_opt(
+    const model::Instance& instance, const model::TimePartition& partition,
+    int max_jobs = 16, const SolverOptions& solver_options = {});
+
+}  // namespace pss::convex

@@ -1,0 +1,40 @@
+// The dual function g(lambda) of the convex program (Sections 2.1, 4.1, 4.2).
+//
+// For any lambda >= 0, g(lambda) lower-bounds the optimal cost of the
+// relaxed program (CP) and hence of the integral problem (IMP). Lemmas 4-6
+// give its closed form through the "optimal infeasible solution": in every
+// atomic interval T_k, the min(m, n_k) available jobs with the largest
+//    s_hat_j = (lambda_j / (alpha * w_j))^(1/(alpha-1))
+// each occupy a dedicated processor at constant speed s_hat_j, and
+//    g(lambda) = (1 - alpha) * sum_j E(j) + sum_j lambda_j,
+// with E(j) = l(j) * s_hat_j^alpha and l(j) the total length of intervals
+// won by job j.
+//
+// Evaluated at the PD algorithm's final duals lambda-tilde, this yields the
+// *certified lower bound* used throughout the benchmarks: Theorem 3 states
+// cost(PD) <= alpha^alpha * g(lambda-tilde) when delta = alpha^(1-alpha).
+#pragma once
+
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+
+namespace pss::convex {
+
+struct DualReport {
+  double value = 0.0;        // g(lambda)
+  double energy_term = 0.0;  // (1 - alpha) * sum_j E(j)   (nonpositive)
+  double lambda_term = 0.0;  // sum_j lambda_j
+  std::vector<double> s_hat;              // per job id
+  std::vector<double> infeasible_energy;  // E(j) per job id
+  std::vector<double> scheduled_length;   // l(j) per job id
+};
+
+/// Evaluates g(lambda). `lambda` is indexed by job id and must be >= 0 and
+/// finite for every job.
+[[nodiscard]] DualReport dual_value(const model::Instance& instance,
+                                    const model::TimePartition& partition,
+                                    const std::vector<double>& lambda);
+
+}  // namespace pss::convex

@@ -1,0 +1,67 @@
+#include "convex/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chen/interval_schedule.hpp"
+#include "chen/insertion_curve.hpp"
+#include "model/power.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::convex {
+
+KktReport kkt_residuals(const model::Instance& instance,
+                        const model::TimePartition& partition,
+                        const model::WorkAssignment& assignment,
+                        const std::vector<model::JobId>& job_ids) {
+  const int m = instance.machine().num_processors;
+  const double alpha = instance.machine().alpha;
+  const model::PowerFunction power(alpha);
+
+  KktReport report;
+  report.job_marginal.assign(instance.num_jobs(), 0.0);
+
+  // Solve every interval once; reuse for all jobs.
+  std::vector<chen::IntervalSolution> solutions;
+  solutions.reserve(partition.num_intervals());
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k)
+    solutions.emplace_back(assignment.loads(k), m, partition.length(k));
+
+  for (model::JobId id : job_ids) {
+    const model::Job& job = instance.job(id);
+    const auto window = partition.job_range(job);
+
+    double assigned = 0.0;
+    double max_on = 0.0;                 // largest marginal where j has mass
+    double min_off = util::kInf;         // smallest marginal anywhere in window
+    for (std::size_t k = window.first; k < window.last; ++k) {
+      const double load = assignment.load_of(k, id);
+      if (load > 1e-12 * job.work) {
+        assigned += load;
+        max_on = std::max(max_on, power.derivative(solutions[k].speed_of(id)));
+        // A loaded interval's own marginal also lower-bounds min_off.
+        min_off = std::min(min_off,
+                           power.derivative(solutions[k].speed_of(id)));
+      } else {
+        // Marginal of inserting the first unit of j here: the slowest
+        // processor's speed (Proposition 1(b) at x_{jk} = 0+).
+        min_off = std::min(
+            min_off, power.derivative(solutions[k].slowest_speed()));
+      }
+    }
+    report.max_completion_residual =
+        std::max(report.max_completion_residual,
+                 std::abs(assigned - job.work) / job.work);
+    report.job_marginal[std::size_t(id)] = max_on;
+    if (max_on > 0.0) {
+      // Stationarity: max marginal on support <= min marginal elsewhere.
+      const double spread = (max_on - min_off) / std::max(max_on, 1e-300);
+      report.max_stationarity_residual =
+          std::max(report.max_stationarity_residual, std::max(0.0, spread));
+    }
+  }
+  return report;
+}
+
+}  // namespace pss::convex

@@ -1,0 +1,32 @@
+// KKT residuals for work assignments (Section 1: "Our algorithm can be seen
+// as greedily increasing the convex program's variables while maintaining a
+// relaxed version of these KKT conditions").
+//
+// For the all-jobs-finished energy minimum, stationarity requires each job's
+// marginal energy dP_k/du_{jk} = P'(s_{jk}) to be equal across intervals
+// carrying its work and no larger anywhere else in its window. The maximum
+// violation of that condition (relative to the job's marginal level) is the
+// residual reported here; the offline solver drives it to ~0 and tests
+// assert this.
+#pragma once
+
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::convex {
+
+struct KktReport {
+  double max_stationarity_residual = 0.0;  // worst relative marginal spread
+  double max_completion_residual = 0.0;    // worst |assigned - w_j| / w_j
+  std::vector<double> job_marginal;        // per job: P'(speed) where placed
+};
+
+[[nodiscard]] KktReport kkt_residuals(
+    const model::Instance& instance, const model::TimePartition& partition,
+    const model::WorkAssignment& assignment,
+    const std::vector<model::JobId>& job_ids);
+
+}  // namespace pss::convex

@@ -1,0 +1,147 @@
+#include "convex/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chen/interval_schedule.hpp"
+#include "convex/water_fill.hpp"
+#include "model/power.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::convex {
+
+double assignment_energy(const model::WorkAssignment& assignment,
+                         const model::TimePartition& partition,
+                         int num_processors, double alpha) {
+  PSS_REQUIRE(assignment.num_intervals() == partition.num_intervals(),
+              "assignment/partition mismatch");
+  double energy = 0.0;
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    if (assignment.loads(k).empty()) continue;
+    energy += chen::interval_energy(assignment.loads(k), num_processors,
+                                    partition.length(k), alpha);
+  }
+  return energy;
+}
+
+SolverResult minimize_energy(const model::Instance& instance,
+                             const model::TimePartition& partition,
+                             const std::vector<model::JobId>& job_ids,
+                             const SolverOptions& options) {
+  const int m = instance.machine().num_processors;
+  const double alpha = instance.machine().alpha;
+
+  SolverResult result;
+  result.assignment = model::WorkAssignment(partition.num_intervals());
+
+  // Greedy initialization: place jobs one by one by water-filling.
+  for (model::JobId id : job_ids) {
+    const model::Job& job = instance.job(id);
+    const auto window = partition.job_range(job);
+    auto placement = water_fill(result.assignment, partition, m, window,
+                                job.work, util::kInf, id);
+    PSS_CHECK(placement.has_value(), "unbounded placement failed");
+    for (std::size_t i = 0; i < window.size(); ++i)
+      result.assignment.set_load(window.first + i, id, placement->amounts[i]);
+  }
+
+  double energy = assignment_energy(result.assignment, partition, m, alpha);
+  for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
+    for (model::JobId id : job_ids) {
+      const model::Job& job = instance.job(id);
+      const auto window = partition.job_range(job);
+      auto placement = water_fill(result.assignment, partition, m, window,
+                                  job.work, util::kInf, id);
+      PSS_CHECK(placement.has_value(), "unbounded placement failed");
+      for (std::size_t i = 0; i < window.size(); ++i)
+        result.assignment.set_load(window.first + i, id,
+                                   placement->amounts[i]);
+    }
+    const double next = assignment_energy(result.assignment, partition, m,
+                                          alpha);
+    result.cycles = cycle + 1;
+    const bool stationary =
+        std::abs(energy - next) <=
+        options.tolerance * std::max(1.0, std::abs(next));
+    energy = next;
+    if (stationary && cycle + 1 >= options.min_cycles) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.objective = energy;
+  return result;
+}
+
+SolverResult minimize_relaxed(const model::Instance& instance,
+                              const model::TimePartition& partition,
+                              std::vector<double>* fractions_out,
+                              const SolverOptions& options) {
+  const int m = instance.machine().num_processors;
+  const double alpha = instance.machine().alpha;
+  const model::PowerFunction power(alpha);
+
+  SolverResult result;
+  result.assignment = model::WorkAssignment(partition.num_intervals());
+  std::vector<double> fractions(instance.num_jobs(), 0.0);
+
+  auto objective = [&] {
+    double obj = assignment_energy(result.assignment, partition, m, alpha);
+    for (const model::Job& job : instance.jobs())
+      if (job.rejectable())
+        obj += (1.0 - fractions[std::size_t(job.id)]) * job.value;
+    return obj;
+  };
+
+  // Exact block step for job j: marginal energy per unit of j's work at
+  // own-speed s is P'(s); paying for work with value credits costs
+  // v_j / w_j per unit. The block optimum places work up to the speed cap
+  // s_cap = P'^{-1}(v_j / w_j) and stops there, leaving 1 - f_j unfinished.
+  auto improve_job = [&](const model::Job& job) {
+    const auto window = partition.job_range(job);
+    const double cap = job.rejectable()
+                           ? power.derivative_inverse(job.value / job.work)
+                           : util::kInf;
+    result.assignment.remove_job(job.id);
+    if (cap <= 0.0) {
+      fractions[std::size_t(job.id)] = 0.0;
+      return;
+    }
+    const double capacity =
+        std::isfinite(cap) ? window_capacity(result.assignment, partition, m,
+                                             window, cap, job.id)
+                           : util::kInf;
+    const double target = std::min(job.work, capacity);
+    if (target <= 0.0) {
+      fractions[std::size_t(job.id)] = 0.0;
+      return;
+    }
+    auto placement = water_fill(result.assignment, partition, m, window,
+                                target, util::kInf, job.id);
+    PSS_CHECK(placement.has_value(), "relaxed placement failed");
+    for (std::size_t i = 0; i < window.size(); ++i)
+      result.assignment.set_load(window.first + i, job.id,
+                                 placement->amounts[i]);
+    fractions[std::size_t(job.id)] = target / job.work;
+  };
+
+  double obj = objective();
+  for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
+    for (const model::Job& job : instance.jobs()) improve_job(job);
+    const double next = objective();
+    result.cycles = cycle + 1;
+    const bool stationary =
+        std::abs(obj - next) <= options.tolerance * std::max(1.0, std::abs(next));
+    obj = next;
+    if (stationary && cycle + 1 >= options.min_cycles) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.objective = obj;
+  if (fractions_out) *fractions_out = std::move(fractions);
+  return result;
+}
+
+}  // namespace pss::convex

@@ -1,0 +1,60 @@
+// Offline convex solvers for the program (CP) of Fig. 1.
+//
+// minimize_energy: the classical all-jobs-finished energy minimum on m
+// speed-scalable processors — the multiprocessor generalization of YDS that
+// Albers–Antoniadis–Greiner compute combinatorially. Here it is solved by
+// cyclic exact block minimization: each pass removes one job and re-places
+// it by water-filling (the exact minimizer of the convex objective in that
+// job's block of variables). The objective is convex and differentiable
+// (Proposition 1), so cyclic exact minimization converges to the global
+// optimum; we iterate until the objective is stationary and report KKT
+// residuals on demand (src/convex/kkt.hpp).
+//
+// minimize_relaxed: the full relaxed program including the rejection terms
+// (y in [0,1]^n). The exact per-job block step caps the job's own-speed at
+// P'^{-1}(v_j / w_j) and keeps only the fraction of work the window absorbs
+// below that marginal price — the continuous counterpart of PD's rejection
+// threshold. Its optimum lower-bounds the integral OPT.
+#pragma once
+
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::convex {
+
+struct SolverOptions {
+  double tolerance = 1e-11;  // relative objective-change stopping criterion
+  int max_cycles = 400;
+  int min_cycles = 3;
+};
+
+struct SolverResult {
+  model::WorkAssignment assignment;
+  double objective = 0.0;  // energy (+ lost-value terms for the relaxed form)
+  int cycles = 0;
+  bool converged = false;
+};
+
+/// Minimum energy to finish all jobs in `job_ids` (others ignored) on the
+/// instance's machine. Pass all ids for the classical YDS-style optimum.
+[[nodiscard]] SolverResult minimize_energy(
+    const model::Instance& instance, const model::TimePartition& partition,
+    const std::vector<model::JobId>& job_ids, const SolverOptions& options = {});
+
+/// Optimum of the relaxed program (CP): fractional work placement with
+/// per-fraction value credit. objective = energy + sum_j (1 - f_j) v_j.
+/// fractions_out (optional) receives f_j per job id.
+[[nodiscard]] SolverResult minimize_relaxed(
+    const model::Instance& instance, const model::TimePartition& partition,
+    std::vector<double>* fractions_out = nullptr,
+    const SolverOptions& options = {});
+
+/// Total energy of an assignment under the instance's machine (sum of P_k).
+[[nodiscard]] double assignment_energy(const model::WorkAssignment& assignment,
+                                       const model::TimePartition& partition,
+                                       int num_processors, double alpha);
+
+}  // namespace pss::convex

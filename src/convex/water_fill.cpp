@@ -1,0 +1,90 @@
+#include "convex/water_fill.hpp"
+
+#include <cmath>
+
+#include "chen/insertion_curve.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::convex {
+
+namespace {
+
+std::vector<double> other_loads(const model::WorkAssignment& assignment,
+                                std::size_t k, model::JobId ignore_job) {
+  std::vector<double> loads;
+  loads.reserve(assignment.loads(k).size());
+  for (const model::Load& l : assignment.loads(k))
+    if (l.job != ignore_job) loads.push_back(l.amount);
+  return loads;
+}
+
+}  // namespace
+
+std::optional<Placement> water_fill(const model::WorkAssignment& assignment,
+                                    const model::TimePartition& partition,
+                                    int num_processors,
+                                    model::IntervalRange window, double work,
+                                    double max_speed,
+                                    model::JobId ignore_job) {
+  PSS_REQUIRE(window.last <= partition.num_intervals(),
+              "window exceeds partition");
+  PSS_REQUIRE(window.first < window.last, "empty placement window");
+  PSS_REQUIRE(work > 0.0, "work must be positive");
+  PSS_REQUIRE(max_speed > 0.0, "max speed must be positive");
+
+  std::vector<util::PiecewiseLinear> curves;
+  curves.reserve(window.size());
+  for (std::size_t k = window.first; k < window.last; ++k) {
+    curves.push_back(chen::insertion_curve(
+        other_loads(assignment, k, ignore_job), num_processors,
+        partition.length(k)));
+  }
+  const util::PiecewiseLinear total = util::PiecewiseLinear::sum(curves);
+
+  if (std::isfinite(max_speed) && total.eval(max_speed) < work)
+    return std::nullopt;
+  const std::optional<double> level = total.first_at_least(work);
+  PSS_CHECK(level.has_value(),
+            "unbounded-speed window must absorb any workload");
+  PSS_CHECK(!std::isfinite(max_speed) || *level <= max_speed * (1.0 + 1e-9),
+            "water level exceeded the verified cap");
+
+  Placement placement;
+  placement.speed = *level;
+  placement.amounts.resize(window.size(), 0.0);
+  double placed = 0.0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    double amount = curves[i].eval(*level);
+    if (amount < 1e-12 * work) amount = 0.0;  // drop floating-point dust
+    placement.amounts[i] = amount;
+    placed += amount;
+    if (placement.amounts[i] > placement.amounts[largest]) largest = i;
+  }
+  // Absorb the inversion's floating-point residue into the largest share so
+  // the job's committed total is exactly its workload.
+  const double residue = work - placed;
+  PSS_CHECK(std::abs(residue) <= 1e-7 * std::max(1.0, work),
+            "water-filling residue too large");
+  placement.amounts[largest] += residue;
+  PSS_CHECK(placement.amounts[largest] >= 0.0, "negative corrected amount");
+  placement.placed = work;
+  return placement;
+}
+
+double window_capacity(const model::WorkAssignment& assignment,
+                       const model::TimePartition& partition,
+                       int num_processors, model::IntervalRange window,
+                       double speed, model::JobId ignore_job) {
+  double capacity = 0.0;
+  for (std::size_t k = window.first; k < window.last; ++k) {
+    std::vector<double> loads = other_loads(assignment, k, ignore_job);
+    std::sort(loads.begin(), loads.end(), std::greater<>());
+    capacity += chen::insertion_amount(loads, num_processors,
+                                       partition.length(k), speed);
+  }
+  return capacity;
+}
+
+}  // namespace pss::convex

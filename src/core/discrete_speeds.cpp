@@ -1,0 +1,92 @@
+#include "core/discrete_speeds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::core {
+
+SpeedLevels::SpeedLevels(std::vector<double> levels) : levels_(std::move(levels)) {
+  PSS_REQUIRE(!levels_.empty(), "need at least one speed level");
+  for (double s : levels_)
+    PSS_REQUIRE(s > 0.0 && std::isfinite(s), "levels must be positive finite");
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+}
+
+SpeedLevels SpeedLevels::geometric(double s_min, double s_max, int count) {
+  PSS_REQUIRE(s_min > 0.0 && s_max > s_min, "need 0 < s_min < s_max");
+  PSS_REQUIRE(count >= 2, "need at least two levels");
+  std::vector<double> levels(static_cast<std::size_t>(count), 0.0);
+  const double ratio = std::pow(s_max / s_min, 1.0 / (count - 1));
+  double s = s_min;
+  for (int i = 0; i < count; ++i) {
+    levels[std::size_t(i)] = (i == count - 1) ? s_max : s;
+    s *= ratio;
+  }
+  return SpeedLevels(std::move(levels));
+}
+
+SpeedLevels::Bracket SpeedLevels::bracket(double speed) const {
+  PSS_REQUIRE(speed <= levels_.back() * (1.0 + 1e-12),
+              "speed exceeds the fastest level");
+  if (speed <= levels_.front()) return {levels_.front(), levels_.front()};
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), speed);
+  if (it != levels_.end() && *it == speed) return {speed, speed};
+  return {*(it - 1), *std::min(it, std::prev(levels_.end()))};
+}
+
+double SpeedLevels::worst_overhead(double alpha) const {
+  double worst = 1.0;
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    const double lo = levels_[i], hi = levels_[i + 1];
+    // Chord of P over [lo, hi] vs the curve, maximized over the mixing
+    // point by a fine scan (closed form exists but a scan is simpler and
+    // this is setup-time only).
+    for (int k = 1; k < 200; ++k) {
+      const double s = lo + (hi - lo) * k / 200.0;
+      const double t_hi = (s - lo) / (hi - lo);  // fraction at `hi`
+      const double chord = (1.0 - t_hi) * util::pos_pow(lo, alpha) +
+                           t_hi * util::pos_pow(hi, alpha);
+      worst = std::max(worst, chord / util::pos_pow(s, alpha));
+    }
+  }
+  return worst;
+}
+
+model::Schedule discretize_schedule(const model::Schedule& schedule,
+                                    const SpeedLevels& levels) {
+  model::Schedule result(schedule.num_processors());
+  for (model::JobId id : schedule.rejected()) result.mark_rejected(id);
+  for (int p = 0; p < schedule.num_processors(); ++p) {
+    for (const model::Segment& seg : schedule.processor(p)) {
+      const SpeedLevels::Bracket b = levels.bracket(seg.speed);
+      const double duration = seg.duration();
+      if (b.lo == b.hi || seg.speed <= b.lo) {
+        // Exact level, or below the slowest level: run at `lo` just long
+        // enough for the work, idle for the rest of the window.
+        const double run = seg.work() / b.lo;
+        PSS_CHECK(run <= duration * (1.0 + 1e-9),
+                  "discretization would miss the window");
+        result.add_segment(
+            p, {seg.start, seg.start + std::min(run, duration), b.lo, seg.job});
+        continue;
+      }
+      // Two-level emulation: hi first, then lo; durations preserve work.
+      //   t_hi * hi + t_lo * lo = s * T,  t_hi + t_lo = T.
+      const double t_hi = duration * (seg.speed - b.lo) / (b.hi - b.lo);
+      const double t_lo = duration - t_hi;
+      if (t_hi > 1e-15 * duration && seg.start + t_hi > seg.start)
+        result.add_segment(p,
+                           {seg.start, seg.start + t_hi, b.hi, seg.job});
+      if (t_lo > 1e-15 * duration && seg.end > seg.start + t_hi)
+        result.add_segment(p, {seg.start + t_hi, seg.end, b.lo, seg.job});
+    }
+  }
+  result.normalize();
+  return result;
+}
+
+}  // namespace pss::core

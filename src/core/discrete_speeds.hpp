@@ -1,0 +1,58 @@
+// Discrete speed levels — running the library's continuous-speed schedules
+// on realistic processors.
+//
+// The paper (like Yao–Demers–Shenker) assumes a continuum of speeds, but
+// real DVFS hardware (Intel SpeedStep, AMD PowerNow!) offers a finite level
+// set. The classical reduction: a segment planned at constant speed s with
+// s between adjacent levels lo <= s <= hi is emulated inside its own time
+// window by running `hi` first and `lo` second with durations chosen to
+// preserve the work. Because the emulation never leaves the segment's
+// window, feasibility (windows, non-parallelism, per-processor
+// disjointness) is preserved verbatim, and since P is convex the energy
+// penalty is the chord-vs-curve gap of the level pair — it vanishes as the
+// level grid refines (quantified by bench_tab_discrete_levels).
+#pragma once
+
+#include <vector>
+
+#include "model/schedule.hpp"
+
+namespace pss::core {
+
+class SpeedLevels {
+ public:
+  /// Levels must be positive; they are sorted and deduplicated.
+  explicit SpeedLevels(std::vector<double> levels);
+
+  /// Geometric grid: `count` levels from s_min to s_max (inclusive).
+  [[nodiscard]] static SpeedLevels geometric(double s_min, double s_max,
+                                             int count);
+
+  [[nodiscard]] const std::vector<double>& levels() const { return levels_; }
+  [[nodiscard]] double min_level() const { return levels_.front(); }
+  [[nodiscard]] double max_level() const { return levels_.back(); }
+
+  /// Adjacent pair bracketing s (lo == hi when s is exactly a level or
+  /// below the lowest level). Requires s <= max_level().
+  struct Bracket {
+    double lo;
+    double hi;
+  };
+  [[nodiscard]] Bracket bracket(double speed) const;
+
+  /// Worst-case energy inflation of two-level emulation across the whole
+  /// grid: max over level pairs and mixing points of chord(P)/P.
+  [[nodiscard]] double worst_overhead(double alpha) const;
+
+ private:
+  std::vector<double> levels_;
+};
+
+/// Rewrites every segment onto the level grid, preserving each segment's
+/// work inside its own time window. Requires every segment speed to be at
+/// most max_level(). Idle-capable: speeds below the lowest level run at the
+/// lowest level for a shorter time (the remainder is idle).
+[[nodiscard]] model::Schedule discretize_schedule(
+    const model::Schedule& schedule, const SpeedLevels& levels);
+
+}  // namespace pss::core

@@ -1,0 +1,54 @@
+// Shared online state for arrival-driven schedulers: a time partition that
+// refines as jobs reveal new boundaries, kept in lockstep with a work
+// assignment whose committed loads split proportionally (Section 3,
+// "Concerning the Time Partitioning"). Used by both the integral PD
+// scheduler and the fractional variant.
+#pragma once
+
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+#include "util/assert.hpp"
+
+namespace pss::core {
+
+struct OnlineState {
+  model::TimePartition partition;
+  model::WorkAssignment assignment;
+  long long interval_splits = 0;
+  long long horizon_extensions = 0;
+
+  /// Makes t a boundary, splitting committed loads proportionally when t
+  /// falls inside an existing interval.
+  void ensure_boundary(double t) {
+    if (partition.has_boundary(t)) return;
+    if (partition.boundaries().size() < 2) {
+      partition.insert_boundary(t);
+      if (partition.boundaries().size() == 2) assignment.append_interval();
+      return;
+    }
+    const double lo = partition.boundaries().front();
+    const double hi = partition.boundaries().back();
+    const std::size_t split = partition.insert_boundary(t);
+    if (split != std::size_t(-1)) {
+      const double frac =
+          (t - partition.start(split)) /
+          (partition.end(split + 1) - partition.start(split));
+      assignment.split_interval(split, frac);
+      ++interval_splits;
+    } else if (t > hi) {
+      assignment.append_interval();
+      ++horizon_extensions;
+    } else if (t < lo) {
+      ++horizon_extensions;
+      model::WorkAssignment extended(assignment.num_intervals() + 1);
+      for (std::size_t k = 0; k < assignment.num_intervals(); ++k)
+        for (const model::Load& l : assignment.loads(k))
+          extended.set_load(k + 1, l.job, l.amount);
+      assignment = std::move(extended);
+    }
+    PSS_CHECK(assignment.num_intervals() == partition.num_intervals(),
+              "assignment drifted from partition");
+  }
+};
+
+}  // namespace pss::core

@@ -1,0 +1,115 @@
+#include "core/pd_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chen/realize.hpp"
+#include "convex/solver.hpp"
+#include "convex/water_fill.hpp"
+#include "core/rejection.hpp"
+#include "model/power.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::core {
+
+PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
+    : machine_(machine),
+      delta_(options.delta.value_or(optimal_delta(machine.alpha))) {
+  PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
+  PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
+  PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
+}
+
+void PdScheduler::ensure_boundary(double t) {
+  if (partition_.has_boundary(t)) return;
+  if (partition_.boundaries().size() < 2) {
+    partition_.insert_boundary(t);
+    if (partition_.boundaries().size() == 2) assignment_.append_interval();
+    return;
+  }
+  const double lo = partition_.boundaries().front();
+  const double hi = partition_.boundaries().back();
+  const std::size_t split = partition_.insert_boundary(t);
+  if (split != std::size_t(-1)) {
+    // A real interior split: committed loads split proportionally
+    // (Section 3's online refinement).
+    const double frac = (t - partition_.start(split)) /
+                        (partition_.end(split + 1) - partition_.start(split));
+    assignment_.split_interval(split, frac);
+    ++counters_.interval_splits;
+  } else if (t > hi) {
+    assignment_.append_interval();
+    ++counters_.horizon_extensions;
+  } else if (t < lo) {
+    ++counters_.horizon_extensions;
+    // Prepend: rebuild with one extra leading interval.
+    model::WorkAssignment extended(assignment_.num_intervals() + 1);
+    for (std::size_t k = 0; k < assignment_.num_intervals(); ++k)
+      for (const model::Load& l : assignment_.loads(k))
+        extended.set_load(k + 1, l.job, l.amount);
+    assignment_ = std::move(extended);
+  }
+}
+
+ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
+  PSS_REQUIRE(job.deadline > job.release, "bad job window");
+  PSS_REQUIRE(job.work > 0.0, "job work must be positive");
+  PSS_REQUIRE(!first_arrival_ ? job.release >= last_release_ - 1e-12 : true,
+              "jobs must arrive in nondecreasing release order");
+  last_release_ = std::max(last_release_, job.release);
+
+  ensure_boundary(job.release);
+  first_arrival_ = false;
+  ensure_boundary(job.deadline);
+  PSS_CHECK(assignment_.num_intervals() == partition_.num_intervals(),
+            "assignment drifted from partition");
+
+  const double alpha = machine_.alpha;
+  const model::PowerFunction power(alpha);
+  const auto window = partition_.job_range(job);
+  const double s_reject = rejection_speed(job.value, job.work, alpha, delta_);
+
+  ArrivalDecision decision;
+  auto placement =
+      convex::water_fill(assignment_, partition_, machine_.num_processors,
+                         window, job.work, s_reject, job.id);
+  if (!placement.has_value()) {
+    // Line 12(b): the marginal hit v_j first; reset loads, fix lambda = v.
+    decision.accepted = false;
+    decision.speed = s_reject;
+    decision.lambda = job.value;
+    decision.planned_energy = 0.0;
+  } else {
+    // Line 11(a): full workload placed at uniform own-speed s*.
+    decision.accepted = true;
+    decision.speed = placement->speed;
+    decision.lambda = delta_ * job.work * power.derivative(placement->speed);
+    decision.planned_energy =
+        job.work * util::pos_pow(placement->speed, alpha - 1.0);
+    for (std::size_t i = 0; i < window.size(); ++i)
+      assignment_.set_load(window.first + i, job.id, placement->amounts[i]);
+  }
+  ++counters_.arrivals;
+  (decision.accepted ? counters_.accepted : counters_.rejected) += 1;
+  counters_.max_intervals =
+      std::max(counters_.max_intervals, partition_.num_intervals());
+  counters_.max_window = std::max(counters_.max_window, window.size());
+  decisions_.push_back({job.id, decision});
+  return decision;
+}
+
+double PdScheduler::planned_energy() const {
+  return convex::assignment_energy(assignment_, partition_,
+                                   machine_.num_processors, machine_.alpha);
+}
+
+model::Schedule PdScheduler::final_schedule() const {
+  model::Schedule schedule = chen::realize_assignment(
+      assignment_, partition_, machine_.num_processors);
+  for (const auto& [id, decision] : decisions_)
+    if (!decision.accepted) schedule.mark_rejected(id);
+  return schedule;
+}
+
+}  // namespace pss::core

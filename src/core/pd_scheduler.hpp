@@ -1,0 +1,103 @@
+// The online primal-dual algorithm PD (Listing 1) for multiple
+// speed-scalable processors — the paper's primary contribution.
+//
+// On every arrival, PD greedily raises the new job's load variables in the
+// atomic intervals where the marginal energy cost lambda_{jk} is smallest,
+// keeping all raised marginals equal (a water-filling over the insertion
+// curves z_k(s) of src/chen), until either
+//   (a) the whole workload is placed  -> accept, lambda_j = delta*w*P'(s*),
+//   (b) the marginal reaches v_j      -> reject, lambda_j = v_j.
+// Committed loads of earlier jobs are never redistributed — the structural
+// difference from Optimal Available illustrated by Fig. 3.
+//
+// The time partition refines online (Section 3, "Concerning the Time
+// Partitioning"): new boundaries split intervals and committed work splits
+// proportionally, which provably leaves the produced schedule unchanged.
+//
+// Theorem 3: with delta = alpha^(1-alpha), PD is alpha^alpha-competitive,
+// and that bound is tight for PD.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss::core {
+
+struct PdOptions {
+  /// PD's parameter; nullopt selects the paper-optimal alpha^(1-alpha).
+  std::optional<double> delta;
+};
+
+/// Lightweight instrumentation, filled as arrivals are processed.
+struct PdCounters {
+  long long arrivals = 0;
+  long long accepted = 0;
+  long long rejected = 0;
+  long long interval_splits = 0;     // online refinements (Section 3)
+  long long horizon_extensions = 0;  // boundaries outside the known horizon
+  std::size_t max_intervals = 0;     // partition size high-water mark
+  std::size_t max_window = 0;        // largest availability window seen
+};
+
+struct ArrivalDecision {
+  bool accepted = false;
+  /// Own-speed s* at which the job was planned (accepted), or the rejection
+  /// speed it failed to meet (rejected).
+  double speed = 0.0;
+  /// Final dual variable lambda-tilde_j.
+  double lambda = 0.0;
+  /// Planned energy PD would invest into the job at commit time.
+  double planned_energy = 0.0;
+};
+
+/// Incremental online scheduler. Jobs must arrive in nondecreasing release
+/// order; the final schedule is the Chen et al. realization of the committed
+/// assignment (Section 3).
+class PdScheduler {
+ public:
+  PdScheduler(model::Machine machine, PdOptions options = {});
+
+  /// Processes one arrival and commits the decision.
+  ArrivalDecision on_arrival(const model::Job& job);
+
+  [[nodiscard]] const model::TimePartition& partition() const {
+    return partition_;
+  }
+  [[nodiscard]] const model::WorkAssignment& assignment() const {
+    return assignment_;
+  }
+  [[nodiscard]] double delta() const { return delta_; }
+
+  /// Total energy of the committed plan (sum of interval P_k).
+  [[nodiscard]] double planned_energy() const;
+
+  /// Concrete migration schedule realizing the committed plan.
+  [[nodiscard]] model::Schedule final_schedule() const;
+
+  /// Decisions in arrival order.
+  [[nodiscard]] const std::vector<std::pair<model::JobId, ArrivalDecision>>&
+  decisions() const {
+    return decisions_;
+  }
+
+  [[nodiscard]] const PdCounters& counters() const { return counters_; }
+
+ private:
+  void ensure_boundary(double t);
+
+  model::Machine machine_;
+  double delta_;
+  model::TimePartition partition_;
+  model::WorkAssignment assignment_;
+  std::vector<std::pair<model::JobId, ArrivalDecision>> decisions_;
+  PdCounters counters_;
+  double last_release_ = -1.0;
+  bool first_arrival_ = true;
+};
+
+}  // namespace pss::core

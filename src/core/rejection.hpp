@@ -1,0 +1,45 @@
+// The PD rejection policy in closed form (Listing 1 line 12 + Section 3).
+//
+// PD stops raising a job's variables when the dual rate
+//   lambda_{jk} = delta * dP_k/dx_{jk} = delta * w_j * P'(s)
+// reaches the job's value v_j. Solving lambda = v for the own-speed s gives
+// the *rejection speed*: a job is rejected iff its availability window
+// cannot absorb w_j at own-speed <= s_reject, where
+//   s_reject = ( v / (delta * alpha * w) )^(1/(alpha-1)).
+// With the optimal delta = alpha^(1-alpha) this becomes
+//   s_reject = alpha^((alpha-2)/(alpha-1)) * (v/w)^(1/(alpha-1)),
+// exactly the admission threshold of Chan, Lam, and Li [10] — the paper
+// notes this equivalence and tests verify it.
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::core {
+
+/// The paper's optimal choice of the PD parameter, delta = alpha^(1-alpha).
+[[nodiscard]] inline double optimal_delta(double alpha) {
+  PSS_REQUIRE(alpha > 1.0, "alpha must exceed 1");
+  return std::pow(alpha, 1.0 - alpha);
+}
+
+/// Speed above which PD refuses to push a job's work (see header comment).
+[[nodiscard]] inline double rejection_speed(double value, double work,
+                                            double alpha, double delta) {
+  PSS_REQUIRE(work > 0.0, "work must be positive");
+  PSS_REQUIRE(delta > 0.0, "delta must be positive");
+  if (!std::isfinite(value)) return util::kInf;
+  return util::pos_pow(value / (delta * alpha * work), 1.0 / (alpha - 1.0));
+}
+
+/// Chan–Lam–Li admission threshold [10]: reject when the planned speed
+/// exceeds alpha^((alpha-2)/(alpha-1)) * (v/w)^(1/(alpha-1)).
+[[nodiscard]] inline double cll_threshold_speed(double value, double work,
+                                                double alpha) {
+  PSS_REQUIRE(work > 0.0, "work must be positive");
+  if (!std::isfinite(value)) return util::kInf;
+  return std::pow(alpha, (alpha - 2.0) / (alpha - 1.0)) *
+         util::pos_pow(value / work, 1.0 / (alpha - 1.0));
+}
+
+}  // namespace pss::core

@@ -1,0 +1,36 @@
+#include "core/run.hpp"
+
+#include "convex/dual.hpp"
+#include "util/assert.hpp"
+
+namespace pss::core {
+
+PdRunResult run_pd(const model::Instance& instance, PdOptions options) {
+  PSS_REQUIRE(instance.num_jobs() > 0, "empty instance");
+  PdScheduler scheduler(instance.machine(), options);
+  for (const model::Job& job : instance.jobs_by_release())
+    scheduler.on_arrival(job);
+
+  PdRunResult result;
+  result.partition = scheduler.partition();
+  result.assignment = scheduler.assignment();
+  result.schedule = scheduler.final_schedule();
+  result.lambda.assign(instance.num_jobs(), 0.0);
+  result.accepted.assign(instance.num_jobs(), false);
+  result.speed.assign(instance.num_jobs(), 0.0);
+  for (const auto& [id, decision] : scheduler.decisions()) {
+    result.lambda[std::size_t(id)] = decision.lambda;
+    result.accepted[std::size_t(id)] = decision.accepted;
+    result.speed[std::size_t(id)] = decision.speed;
+  }
+  result.cost = result.schedule.cost(instance);
+
+  const convex::DualReport dual =
+      convex::dual_value(instance, result.partition, result.lambda);
+  result.dual_lower_bound = dual.value;
+  result.certified_ratio =
+      dual.value > 0.0 ? result.cost.total() / dual.value : 0.0;
+  return result;
+}
+
+}  // namespace pss::core

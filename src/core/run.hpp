@@ -1,0 +1,34 @@
+// One-shot convenience runner: feed an instance to PD in release order,
+// collect the schedule, cost, dual variables, and the certified bounds of
+// Theorem 3.
+#pragma once
+
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "model/instance.hpp"
+
+namespace pss::core {
+
+struct PdRunResult {
+  model::Schedule schedule;
+  model::WorkAssignment assignment;
+  model::TimePartition partition;
+  std::vector<double> lambda;    // lambda-tilde per job id
+  std::vector<bool> accepted;    // per job id
+  std::vector<double> speed;     // committed own-speed s* (or s_reject)
+  model::CostBreakdown cost;     // energy + lost value
+
+  /// g(lambda-tilde): certified lower bound on OPT (Lemma 6 + weak duality).
+  double dual_lower_bound = 0.0;
+  /// cost / g(lambda-tilde); Theorem 3 guarantees <= alpha^alpha for the
+  /// default delta. An upper bound on the realized competitive ratio.
+  double certified_ratio = 0.0;
+};
+
+/// Runs PD over the full instance (jobs fed in release order) and evaluates
+/// the dual bound at the resulting lambda-tilde.
+[[nodiscard]] PdRunResult run_pd(const model::Instance& instance,
+                                 PdOptions options = {});
+
+}  // namespace pss::core

@@ -1,0 +1,103 @@
+#include "io/instance_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::io {
+
+namespace {
+
+std::string format_double(double x) {
+  if (std::isinf(x)) return "inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+double parse_double(const std::string& token, int line) {
+  if (token == "inf" || token == "INF") return util::kInf;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  PSS_REQUIRE(consumed == token.size(),
+              "line " + std::to_string(line) + ": bad number '" + token + "'");
+  return value;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const model::Instance& instance) {
+  os << "# pss-instance v1\n";
+  os << "machine " << instance.machine().num_processors << ' '
+     << format_double(instance.machine().alpha) << '\n';
+  for (const model::Job& job : instance.jobs()) {
+    os << "job " << format_double(job.release) << ' '
+       << format_double(job.deadline) << ' ' << format_double(job.work) << ' '
+       << format_double(job.value) << '\n';
+  }
+}
+
+void save_instance(const std::string& path, const model::Instance& instance) {
+  std::ofstream out(path);
+  PSS_REQUIRE(out.good(), "cannot open for writing: " + path);
+  write_instance(out, instance);
+  PSS_REQUIRE(out.good(), "write failed: " + path);
+}
+
+model::Instance read_instance(std::istream& is) {
+  model::Machine machine;
+  bool have_machine = false;
+  std::vector<model::Job> jobs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "machine") {
+      std::string procs, alpha;
+      PSS_REQUIRE(bool(tokens >> procs >> alpha),
+                  "line " + std::to_string(line_no) + ": machine needs 2 fields");
+      machine.num_processors = int(parse_double(procs, line_no));
+      machine.alpha = parse_double(alpha, line_no);
+      have_machine = true;
+    } else if (keyword == "job") {
+      std::string r, d, w, v;
+      PSS_REQUIRE(bool(tokens >> r >> d >> w >> v),
+                  "line " + std::to_string(line_no) + ": job needs 4 fields");
+      model::Job job;
+      job.release = parse_double(r, line_no);
+      job.deadline = parse_double(d, line_no);
+      job.work = parse_double(w, line_no);
+      job.value = parse_double(v, line_no);
+      jobs.push_back(job);
+    } else {
+      PSS_REQUIRE(false, "line " + std::to_string(line_no) +
+                             ": unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    PSS_REQUIRE(!(tokens >> extra), "line " + std::to_string(line_no) +
+                                        ": trailing tokens");
+  }
+  PSS_REQUIRE(have_machine, "missing 'machine' line");
+  PSS_REQUIRE(!jobs.empty(), "instance has no jobs");
+  return model::make_instance(machine, std::move(jobs));
+}
+
+model::Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  PSS_REQUIRE(in.good(), "cannot open for reading: " + path);
+  return read_instance(in);
+}
+
+}  // namespace pss::io

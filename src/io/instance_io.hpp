@@ -1,0 +1,36 @@
+// Instance (de)serialization: a small line-oriented text format so that
+// workloads can be generated once, shared, and replayed against any
+// algorithm in the library (or an external implementation).
+//
+// Format ("pss-instance v1"):
+//   # comments and blank lines are ignored
+//   machine <num_processors> <alpha>
+//   job <release> <deadline> <work> <value|inf>
+//   job ...
+//
+// Values are written with full round-trip precision (%.17g). Job ids are
+// assigned in file order, matching the arrival order convention of the
+// online algorithms.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/instance.hpp"
+
+namespace pss::io {
+
+/// Writes the instance to a stream in the format above.
+void write_instance(std::ostream& os, const model::Instance& instance);
+
+/// Writes to a file (overwrites). Throws std::invalid_argument on I/O error.
+void save_instance(const std::string& path, const model::Instance& instance);
+
+/// Parses an instance from a stream. Throws std::invalid_argument with a
+/// line number on malformed input.
+[[nodiscard]] model::Instance read_instance(std::istream& is);
+
+/// Reads from a file. Throws std::invalid_argument on I/O or parse error.
+[[nodiscard]] model::Instance load_instance(const std::string& path);
+
+}  // namespace pss::io

@@ -1,0 +1,80 @@
+#include "io/schedule_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace pss::io {
+
+void write_schedule_csv(std::ostream& os, const model::Schedule& schedule) {
+  os << "processor,start,end,speed,job\n";
+  for (int p = 0; p < schedule.num_processors(); ++p)
+    for (const model::Segment& seg : schedule.processor(p))
+      os << p << ',' << seg.start << ',' << seg.end << ',' << seg.speed
+         << ',' << seg.job << '\n';
+  for (model::JobId id : schedule.rejected())
+    os << "-1,,,," << id << '\n';
+}
+
+void save_schedule_csv(const std::string& path,
+                       const model::Schedule& schedule) {
+  std::ofstream out(path);
+  PSS_REQUIRE(out.good(), "cannot open for writing: " + path);
+  write_schedule_csv(out, schedule);
+}
+
+namespace {
+
+char job_glyph(model::JobId id) {
+  const int v = int(id) % 36;
+  return char(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os, const model::Schedule& schedule,
+                  double t0, double t1, const GanttOptions& options) {
+  PSS_REQUIRE(t1 > t0, "empty time range");
+  PSS_REQUIRE(options.width >= 10, "gantt needs at least 10 columns");
+  const double cell = (t1 - t0) / options.width;
+
+  os << "time  [" << t0 << ", " << t1 << ")  one column = " << cell
+     << " time units\n";
+  for (int p = 0; p < schedule.num_processors(); ++p) {
+    std::string lane(std::size_t(options.width), '.');
+    double work = 0.0;
+    for (int c = 0; c < options.width; ++c) {
+      const double a = t0 + c * cell;
+      const double b = a + cell;
+      // Dominant job in this cell: most covered time.
+      std::map<model::JobId, double> cover;
+      for (const model::Segment& seg : schedule.processor(p)) {
+        const double lo = std::max(seg.start, a);
+        const double hi = std::min(seg.end, b);
+        if (hi > lo) cover[seg.job] += hi - lo;
+      }
+      double best = 0.0;
+      for (const auto& [id, t] : cover) {
+        if (t > best) {
+          best = t;
+          lane[std::size_t(c)] = job_glyph(id);
+        }
+      }
+    }
+    for (const model::Segment& seg : schedule.processor(p))
+      work += seg.work();
+    os << "CPU" << p << " |" << lane << '|';
+    if (options.show_speeds) os << "  mean speed " << work / (t1 - t0);
+    os << '\n';
+  }
+  if (!schedule.rejected().empty()) {
+    os << "rejected:";
+    for (model::JobId id : schedule.rejected()) os << ' ' << id;
+    os << '\n';
+  }
+}
+
+}  // namespace pss::io

@@ -1,0 +1,29 @@
+// Schedule export: CSV segment dump (for external plotting) and an ASCII
+// Gantt renderer (for terminals and the examples).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/schedule.hpp"
+
+namespace pss::io {
+
+/// Writes one CSV row per segment: processor,start,end,speed,job.
+/// Rejected jobs are listed afterwards as rows with processor = -1.
+void write_schedule_csv(std::ostream& os, const model::Schedule& schedule);
+void save_schedule_csv(const std::string& path,
+                       const model::Schedule& schedule);
+
+struct GanttOptions {
+  int width = 80;          // character columns for the time axis
+  bool show_speeds = true; // append a per-CPU mean-speed column
+};
+
+/// Renders per-processor lanes over [t0, t1); each cell shows the job id
+/// (mod 36, 0-9a-z) occupying that slice of time, '.' when idle. Multiple
+/// jobs inside one cell show the dominant one.
+void render_gantt(std::ostream& os, const model::Schedule& schedule,
+                  double t0, double t1, const GanttOptions& options = {});
+
+}  // namespace pss::io

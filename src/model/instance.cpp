@@ -1,0 +1,76 @@
+#include "model/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::model {
+
+Instance::Instance(Machine machine, std::vector<Job> jobs)
+    : machine_(machine), jobs_(std::move(jobs)) {}
+
+const Job& Instance::job(JobId id) const {
+  PSS_REQUIRE(id >= 0 && std::size_t(id) < jobs_.size(), "job id out of range");
+  return jobs_[std::size_t(id)];
+}
+
+std::vector<Job> Instance::jobs_by_release() const {
+  std::vector<Job> sorted = jobs_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Job& a, const Job& b) {
+                     if (a.release != b.release) return a.release < b.release;
+                     return a.id < b.id;
+                   });
+  return sorted;
+}
+
+double Instance::total_work() const {
+  double w = 0.0;
+  for (const Job& j : jobs_) w += j.work;
+  return w;
+}
+
+double Instance::total_finite_value() const {
+  double v = 0.0;
+  for (const Job& j : jobs_)
+    if (j.rejectable()) v += j.value;
+  return v;
+}
+
+double Instance::horizon_start() const {
+  PSS_REQUIRE(!jobs_.empty(), "empty instance has no horizon");
+  double t = util::kInf;
+  for (const Job& j : jobs_) t = std::min(t, j.release);
+  return t;
+}
+
+double Instance::horizon_end() const {
+  PSS_REQUIRE(!jobs_.empty(), "empty instance has no horizon");
+  double t = -util::kInf;
+  for (const Job& j : jobs_) t = std::max(t, j.deadline);
+  return t;
+}
+
+Instance make_instance(Machine machine, std::vector<Job> jobs) {
+  PSS_REQUIRE(machine.num_processors >= 1, "need at least one processor");
+  PSS_REQUIRE(machine.alpha > 1.0, "alpha must exceed 1");
+  const bool assign_ids =
+      std::all_of(jobs.begin(), jobs.end(), [](const Job& j) { return j.id == -1; });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& j = jobs[i];
+    if (assign_ids) j.id = JobId(i);
+    PSS_REQUIRE(j.id == JobId(i), "job ids must be 0..n-1 in order");
+    PSS_REQUIRE(std::isfinite(j.release) && std::isfinite(j.deadline),
+                "release/deadline must be finite: " + j.to_string());
+    PSS_REQUIRE(j.deadline > j.release,
+                "deadline must exceed release: " + j.to_string());
+    PSS_REQUIRE(std::isfinite(j.work) && j.work > 0.0,
+                "workload must be positive: " + j.to_string());
+    PSS_REQUIRE(j.value > 0.0, "value must be positive: " + j.to_string());
+  }
+  return Instance(machine, std::move(jobs));
+}
+
+}  // namespace pss::model

@@ -1,0 +1,47 @@
+// A problem instance: a set of jobs plus the machine environment (m, alpha).
+#pragma once
+
+#include <vector>
+
+#include "model/job.hpp"
+
+namespace pss::model {
+
+struct Machine {
+  int num_processors = 1;
+  double alpha = 3.0;
+};
+
+class Instance {
+ public:
+  Instance() = default;
+  Instance(Machine machine, std::vector<Job> jobs);
+
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] std::size_t num_jobs() const { return jobs_.size(); }
+
+  /// Jobs sorted by release time (stable; ties keep id order).
+  [[nodiscard]] std::vector<Job> jobs_by_release() const;
+
+  /// Sum of all job workloads.
+  [[nodiscard]] double total_work() const;
+
+  /// Sum of all finite job values (rejectable jobs only).
+  [[nodiscard]] double total_finite_value() const;
+
+  /// Earliest release / latest deadline over all jobs.
+  [[nodiscard]] double horizon_start() const;
+  [[nodiscard]] double horizon_end() const;
+
+ private:
+  Machine machine_;
+  std::vector<Job> jobs_;  // indexed by JobId: jobs_[id].id == id
+};
+
+/// Validates and normalizes a job list: ids must be 0..n-1 (assigned if all
+/// are -1), windows nonempty, workloads positive, values positive.
+[[nodiscard]] Instance make_instance(Machine machine, std::vector<Job> jobs);
+
+}  // namespace pss::model

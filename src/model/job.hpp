@@ -1,0 +1,44 @@
+// The job model of Kling & Pietrzyk (Section 2).
+//
+// A job j has a release time r_j, a deadline d_j, a workload w_j, and a
+// value v_j. A scheduler that does not finish the job by its deadline pays
+// the value v_j instead of the energy to process it. v_j = +infinity encodes
+// the classical Yao–Demers–Shenker model where every job must be finished.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pss::model {
+
+using JobId = std::int32_t;
+
+struct Job {
+  JobId id = -1;
+  double release = 0.0;
+  double deadline = 0.0;
+  double work = 0.0;
+  double value = std::numeric_limits<double>::infinity();
+
+  /// Length of the feasibility window [release, deadline).
+  [[nodiscard]] double span() const { return deadline - release; }
+
+  /// Work per unit of window length; the speed AVR would dedicate to it.
+  [[nodiscard]] double density() const { return work / span(); }
+
+  /// True if the scheduler is allowed to reject this job at finite cost.
+  [[nodiscard]] bool rejectable() const {
+    return value != std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline std::string Job::to_string() const {
+  return "job{id=" + std::to_string(id) + ", r=" + std::to_string(release) +
+         ", d=" + std::to_string(deadline) + ", w=" + std::to_string(work) +
+         ", v=" + std::to_string(value) + "}";
+}
+
+}  // namespace pss::model

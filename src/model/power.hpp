@@ -1,0 +1,51 @@
+// The power function P_alpha(s) = s^alpha and its calculus (Section 2).
+//
+// alpha > 1 is the energy exponent; alpha = 3 approximates classical CMOS.
+// Energy to run for time t at constant speed s is t * P(s); the energy to
+// process work w in time t at constant speed is t * P(w/t) = w^alpha / t^(alpha-1).
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::model {
+
+class PowerFunction {
+ public:
+  explicit PowerFunction(double alpha) : alpha_(alpha) {
+    PSS_REQUIRE(alpha > 1.0, "energy exponent must satisfy alpha > 1");
+  }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// P(s) = s^alpha.
+  [[nodiscard]] double operator()(double speed) const {
+    return util::pos_pow(speed, alpha_);
+  }
+
+  /// P'(s) = alpha * s^(alpha-1).
+  [[nodiscard]] double derivative(double speed) const {
+    return alpha_ * util::pos_pow(speed, alpha_ - 1.0);
+  }
+
+  /// Inverse of P': the speed at which the marginal power equals `rate`.
+  [[nodiscard]] double derivative_inverse(double rate) const {
+    return util::pos_pow(rate / alpha_, 1.0 / (alpha_ - 1.0));
+  }
+
+  /// Energy of running at constant speed `speed` for `duration` time units.
+  [[nodiscard]] double energy(double speed, double duration) const {
+    return duration * (*this)(speed);
+  }
+
+  /// Minimal energy to process `work` within `duration` (constant speed).
+  [[nodiscard]] double energy_for_work(double work, double duration) const {
+    PSS_REQUIRE(duration > 0.0, "duration must be positive");
+    return energy(work / duration, duration);
+  }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace pss::model

@@ -1,0 +1,136 @@
+#include "model/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::model {
+
+void Schedule::add_segment(int processor, Segment seg) {
+  PSS_REQUIRE(processor >= 0 && processor < num_processors(),
+              "processor index out of range");
+  PSS_REQUIRE(seg.end > seg.start, "segment must have positive duration");
+  PSS_REQUIRE(seg.speed >= 0.0, "segment speed must be nonnegative");
+  if (seg.speed == 0.0 || seg.job < 0) return;  // idle time is implicit
+  processors_[std::size_t(processor)].push_back(seg);
+}
+
+double Schedule::work_done(JobId job) const {
+  double w = 0.0;
+  for (const auto& segs : processors_)
+    for (const Segment& s : segs)
+      if (s.job == job) w += s.work();
+  return w;
+}
+
+double Schedule::energy(double alpha) const {
+  double e = 0.0;
+  for (const auto& segs : processors_)
+    for (const Segment& s : segs)
+      e += s.duration() * util::pos_pow(s.speed, alpha);
+  return e;
+}
+
+CostBreakdown Schedule::cost(const Instance& instance) const {
+  CostBreakdown c;
+  c.energy = energy(instance.machine().alpha);
+  for (JobId id : rejected_) {
+    const Job& j = instance.job(id);
+    PSS_CHECK(j.rejectable(), "a must-finish job was rejected");
+    c.lost_value += j.value;
+  }
+  return c;
+}
+
+void Schedule::normalize() {
+  for (auto& segs : processors_) {
+    std::sort(segs.begin(), segs.end(), [](const Segment& a, const Segment& b) {
+      return a.start < b.start;
+    });
+    std::vector<Segment> merged;
+    merged.reserve(segs.size());
+    for (const Segment& s : segs) {
+      if (!merged.empty() && merged.back().job == s.job &&
+          merged.back().speed == s.speed &&
+          util::almost_equal(merged.back().end, s.start)) {
+        merged.back().end = s.end;
+      } else {
+        merged.push_back(s);
+      }
+    }
+    segs = std::move(merged);
+  }
+}
+
+std::string ValidationResult::summary() const {
+  if (ok) return "valid";
+  std::ostringstream os;
+  os << errors.size() << " error(s):";
+  for (const std::string& e : errors) os << "\n  - " << e;
+  return os.str();
+}
+
+ValidationResult validate_schedule(const Schedule& schedule,
+                                   const Instance& instance,
+                                   double work_rtol) {
+  ValidationResult result;
+  PSS_REQUIRE(schedule.num_processors() == instance.machine().num_processors,
+              "schedule/machine processor count mismatch");
+
+  // Per-processor: segments must be disjoint and ordered after normalize().
+  Schedule normalized = schedule;
+  normalized.normalize();
+  std::map<JobId, std::vector<Segment>> by_job;
+  for (int p = 0; p < normalized.num_processors(); ++p) {
+    const auto& segs = normalized.processor(p);
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const Segment& s = segs[i];
+      if (s.end <= s.start)
+        result.fail("empty segment on processor " + std::to_string(p));
+      if (s.speed < 0.0)
+        result.fail("negative speed on processor " + std::to_string(p));
+      if (i > 0 && s.start < segs[i - 1].end - 1e-12)
+        result.fail("overlapping segments on processor " + std::to_string(p) +
+                    " at t=" + std::to_string(s.start));
+      if (s.job >= 0) by_job[s.job].push_back(s);
+    }
+  }
+
+  // Per-job: window containment, nonparallel execution, completion.
+  for (const Job& job : instance.jobs()) {
+    auto it = by_job.find(job.id);
+    const bool rejected = normalized.is_rejected(job.id);
+    if (it != by_job.end()) {
+      auto& segs = it->second;
+      std::sort(segs.begin(), segs.end(),
+                [](const Segment& a, const Segment& b) {
+                  return a.start < b.start;
+                });
+      for (std::size_t i = 0; i < segs.size(); ++i) {
+        const Segment& s = segs[i];
+        if (s.start < job.release - 1e-9 || s.end > job.deadline + 1e-9)
+          result.fail(job.to_string() + " runs outside its window at t=" +
+                      std::to_string(s.start));
+        if (i > 0 && s.start < segs[i - 1].end - 1e-9)
+          result.fail(job.to_string() +
+                      " runs on two processors simultaneously at t=" +
+                      std::to_string(s.start));
+      }
+    }
+    if (!rejected) {
+      const double done = normalized.work_done(job.id);
+      if (done < job.work * (1.0 - work_rtol) - 1e-12)
+        result.fail(job.to_string() + " unfinished: did " +
+                    std::to_string(done) + " of " + std::to_string(job.work));
+    }
+    if (rejected && !job.rejectable())
+      result.fail(job.to_string() + " is must-finish but was rejected");
+  }
+  return result;
+}
+
+}  // namespace pss::model

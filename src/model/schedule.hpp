@@ -1,0 +1,96 @@
+// Concrete multiprocessor schedules (Section 2).
+//
+// A schedule is, per processor, a list of disjoint time segments each running
+// one job at a constant speed. Speeds are piecewise constant in this library
+// (all algorithms here produce such schedules; YDS-optimal schedules are
+// piecewise constant too), so energy integrates exactly.
+//
+// The validator enforces the model's feasibility rules: at most one job per
+// processor at a time, no job on two processors simultaneously (nonparallel
+// jobs), execution only inside [r_j, d_j), and completion of accepted jobs.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+
+namespace pss::model {
+
+struct Segment {
+  double start = 0.0;
+  double end = 0.0;
+  double speed = 0.0;
+  JobId job = -1;
+
+  [[nodiscard]] double duration() const { return end - start; }
+  [[nodiscard]] double work() const { return speed * duration(); }
+};
+
+struct CostBreakdown {
+  double energy = 0.0;
+  double lost_value = 0.0;
+
+  [[nodiscard]] double total() const { return energy + lost_value; }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int num_processors) : processors_(num_processors) {}
+
+  [[nodiscard]] int num_processors() const {
+    return int(processors_.size());
+  }
+  [[nodiscard]] const std::vector<Segment>& processor(int i) const {
+    return processors_[std::size_t(i)];
+  }
+
+  /// Appends a segment to processor i (must not precede its last segment).
+  void add_segment(int processor, Segment seg);
+
+  /// Marks a job as rejected (its value will be charged as loss).
+  void mark_rejected(JobId job) { rejected_.insert(job); }
+  [[nodiscard]] const std::set<JobId>& rejected() const { return rejected_; }
+  [[nodiscard]] bool is_rejected(JobId job) const {
+    return rejected_.count(job) > 0;
+  }
+
+  /// Total work processed for a job across all processors.
+  [[nodiscard]] double work_done(JobId job) const;
+
+  /// Exact energy: sum over segments of duration * speed^alpha.
+  [[nodiscard]] double energy(double alpha) const;
+
+  /// Energy plus the values of rejected jobs.
+  [[nodiscard]] CostBreakdown cost(const Instance& instance) const;
+
+  /// Sorts each processor's segments by start time and merges adjacent
+  /// segments of equal job and speed. Call after out-of-order construction.
+  void normalize();
+
+ private:
+  std::vector<std::vector<Segment>> processors_;
+  std::set<JobId> rejected_;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks all feasibility rules of the model against `instance`.
+/// `work_rtol` is the relative tolerance for job-completion checks.
+[[nodiscard]] ValidationResult validate_schedule(const Schedule& schedule,
+                                                 const Instance& instance,
+                                                 double work_rtol = 1e-6);
+
+}  // namespace pss::model

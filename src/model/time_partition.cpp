@@ -1,0 +1,75 @@
+#include "model/time_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace pss::model {
+
+TimePartition TimePartition::from_jobs(const std::vector<Job>& jobs) {
+  PSS_REQUIRE(!jobs.empty(), "cannot partition time without jobs");
+  std::vector<double> times;
+  times.reserve(jobs.size() * 2);
+  for (const Job& j : jobs) {
+    times.push_back(j.release);
+    times.push_back(j.deadline);
+  }
+  return from_boundaries(std::move(times));
+}
+
+TimePartition TimePartition::from_boundaries(std::vector<double> times) {
+  PSS_REQUIRE(times.size() >= 2, "need at least two boundary times");
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  PSS_REQUIRE(times.size() >= 2, "need at least two distinct boundaries");
+  for (double t : times)
+    PSS_REQUIRE(std::isfinite(t), "boundary times must be finite");
+  TimePartition p;
+  p.boundaries_ = std::move(times);
+  return p;
+}
+
+IntervalRange TimePartition::range(double t0, double t1) const {
+  PSS_REQUIRE(t0 < t1, "empty time range");
+  auto it0 = std::lower_bound(boundaries_.begin(), boundaries_.end(), t0);
+  auto it1 = std::lower_bound(boundaries_.begin(), boundaries_.end(), t1);
+  PSS_REQUIRE(it0 != boundaries_.end() && *it0 == t0,
+              "range start is not a partition boundary");
+  PSS_REQUIRE(it1 != boundaries_.end() && *it1 == t1,
+              "range end is not a partition boundary");
+  return {std::size_t(it0 - boundaries_.begin()),
+          std::size_t(it1 - boundaries_.begin())};
+}
+
+std::size_t TimePartition::interval_of(double t) const {
+  PSS_REQUIRE(t >= boundaries_.front() && t < boundaries_.back(),
+              "time outside the partition horizon");
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  return std::size_t(it - boundaries_.begin()) - 1;
+}
+
+bool TimePartition::has_boundary(double t) const {
+  return std::binary_search(boundaries_.begin(), boundaries_.end(), t);
+}
+
+std::size_t TimePartition::insert_boundary(double t) {
+  PSS_REQUIRE(std::isfinite(t), "boundary must be finite");
+  if (boundaries_.empty()) {
+    boundaries_.push_back(t);
+    return std::numeric_limits<std::size_t>::max();
+  }
+  auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), t);
+  if (it != boundaries_.end() && *it == t)
+    return std::numeric_limits<std::size_t>::max();
+  if (it == boundaries_.begin() || it == boundaries_.end()) {
+    boundaries_.insert(it, t);  // horizon extension, no interval split
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t split_index = std::size_t(it - boundaries_.begin()) - 1;
+  boundaries_.insert(it, t);
+  return split_index;
+}
+
+}  // namespace pss::model

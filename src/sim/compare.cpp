@@ -1,0 +1,64 @@
+#include "sim/compare.hpp"
+
+#include "baselines/algorithms.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+
+namespace pss::sim {
+
+namespace {
+
+int count_true(const std::vector<bool>& flags) {
+  int c = 0;
+  for (bool f : flags) c += f ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+std::vector<AlgoOutcome> compare_algorithms(const model::Instance& instance) {
+  std::vector<AlgoOutcome> outcomes;
+  const int n = int(instance.num_jobs());
+
+  {
+    const core::PdRunResult pd = core::run_pd(instance);
+    AlgoOutcome row;
+    row.name = "PD";
+    row.energy = pd.cost.energy;
+    row.lost_value = pd.cost.lost_value;
+    row.total = pd.cost.total();
+    row.accepted = count_true(pd.accepted);
+    row.rejected = n - row.accepted;
+    row.valid = model::validate_schedule(pd.schedule, instance).ok;
+    row.certified_ratio = pd.certified_ratio;
+    outcomes.push_back(row);
+  }
+  {
+    const baselines::ReplanResult oa = baselines::run_oa(instance);
+    AlgoOutcome row;
+    row.name = "OA(admit-all)";
+    row.energy = oa.cost.energy;
+    row.lost_value = oa.cost.lost_value;
+    row.total = oa.cost.total();
+    row.accepted = count_true(oa.admitted);
+    row.rejected = n - row.accepted;
+    row.valid = model::validate_schedule(oa.schedule, instance).ok;
+    outcomes.push_back(row);
+  }
+  {
+    const baselines::ReplanResult cll = baselines::run_cll(instance);
+    AlgoOutcome row;
+    row.name = instance.machine().num_processors == 1 ? "CLL"
+                                                      : "CLL-threshold(m)";
+    row.energy = cll.cost.energy;
+    row.lost_value = cll.cost.lost_value;
+    row.total = cll.cost.total();
+    row.accepted = count_true(cll.admitted);
+    row.rejected = n - row.accepted;
+    row.valid = model::validate_schedule(cll.schedule, instance).ok;
+    outcomes.push_back(row);
+  }
+  return outcomes;
+}
+
+}  // namespace pss::sim

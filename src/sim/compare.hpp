@@ -1,0 +1,28 @@
+// Side-by-side algorithm comparison on one instance, with validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+
+namespace pss::sim {
+
+struct AlgoOutcome {
+  std::string name;
+  double energy = 0.0;
+  double lost_value = 0.0;
+  double total = 0.0;
+  int accepted = 0;
+  int rejected = 0;
+  bool valid = false;
+  double certified_ratio = 0.0;  // only PD certifies (0 elsewhere)
+};
+
+/// Runs PD plus the applicable baselines on the instance and returns one
+/// row per algorithm. Single-processor instances additionally run CLL;
+/// OA (always-admit) runs at any m. Every schedule is validated.
+[[nodiscard]] std::vector<AlgoOutcome> compare_algorithms(
+    const model::Instance& instance);
+
+}  // namespace pss::sim

@@ -1,0 +1,30 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace pss::sim {
+
+Aggregate sweep_seeds(int num_seeds,
+                      const std::function<double(std::uint64_t)>& measure,
+                      std::uint64_t base_seed) {
+  std::vector<double> samples(static_cast<std::size_t>(num_seeds), 0.0);
+  util::parallel_for(0, std::size_t(num_seeds), [&](std::size_t i) {
+    samples[i] = measure(base_seed + i);
+  });
+  Aggregate agg;
+  for (double s : samples) agg.add(s);
+  return agg;
+}
+
+std::string result_dir() {
+  const char* env = std::getenv("PSS_RESULT_DIR");
+  std::string dir = env ? env : "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace pss::sim

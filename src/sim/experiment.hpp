@@ -1,0 +1,22 @@
+// Parallel seed sweeps: run a measurement across many seeded instances and
+// aggregate the results. All bench binaries are built on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/metrics.hpp"
+
+namespace pss::sim {
+
+/// Evaluates `measure(seed)` for seeds base_seed..base_seed+num_seeds-1 in
+/// parallel and aggregates the returned samples. Exceptions propagate.
+[[nodiscard]] Aggregate sweep_seeds(
+    int num_seeds, const std::function<double(std::uint64_t)>& measure,
+    std::uint64_t base_seed = 1);
+
+/// Returns the directory bench binaries write CSV mirrors into (created on
+/// demand, env PSS_RESULT_DIR overrides, default "bench_results" in cwd).
+[[nodiscard]] std::string result_dir();
+
+}  // namespace pss::sim

@@ -1,0 +1,64 @@
+// Streaming metric aggregation for experiment sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pss::sim {
+
+/// Collects samples and reports summary statistics. Stores the samples
+/// (sweeps here are small) so exact percentiles are available.
+class Aggregate {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    PSS_REQUIRE(!samples_.empty(), "no samples");
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / double(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    PSS_REQUIRE(!samples_.empty(), "no samples");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    PSS_REQUIRE(!samples_.empty(), "no samples");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double stddev() const {
+    PSS_REQUIRE(samples_.size() >= 2, "need >= 2 samples for stddev");
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / double(samples_.size() - 1));
+  }
+
+  /// Exact p-th percentile (p in [0, 100]) by linear interpolation.
+  [[nodiscard]] double percentile(double p) const {
+    PSS_REQUIRE(!samples_.empty(), "no samples");
+    PSS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace pss::sim

@@ -1,0 +1,40 @@
+// Lightweight contract-checking macros.
+//
+// PSS_REQUIRE is for precondition violations by API callers: it throws
+// std::invalid_argument so that misuse is testable and recoverable.
+// PSS_CHECK is for internal invariants: it stays active in release builds
+// (the algorithms in this library are cheap relative to the cost of silently
+// producing an infeasible schedule) and throws std::logic_error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pss::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "PSS_REQUIRE") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pss::util
+
+#define PSS_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pss::util::contract_failure("PSS_REQUIRE", #cond, __FILE__,         \
+                                    __LINE__, (msg));                       \
+  } while (0)
+
+#define PSS_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pss::util::contract_failure("PSS_CHECK", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (0)

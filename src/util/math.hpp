@@ -1,0 +1,45 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pss::util {
+
+/// Tolerant floating-point comparison: |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] inline bool almost_equal(double a, double b, double rtol = 1e-9,
+                                       double atol = 1e-12) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// a <= b up to tolerance (used for "bound holds" style assertions).
+[[nodiscard]] inline bool leq_tol(double a, double b, double rtol = 1e-9,
+                                  double atol = 1e-12) {
+  return a <= b + atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// x^p for x >= 0; guards the pow(0, p) corner and negative zero noise.
+[[nodiscard]] inline double pos_pow(double x, double p) {
+  if (x <= 0.0) return 0.0;
+  return std::pow(x, p);
+}
+
+/// Solve f(s) = target for monotone nondecreasing f by bisection on [lo, hi].
+/// Requires f(lo) <= target <= f(hi). Returns the smallest such s up to tol.
+template <class F>
+[[nodiscard]] double bisect_monotone(F&& f, double lo, double hi, double target,
+                                     double tol = 1e-13, int max_iter = 200) {
+  for (int i = 0; i < max_iter && (hi - lo) > tol * std::max(1.0, hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace pss::util

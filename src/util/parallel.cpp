@@ -1,0 +1,103 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pss::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0)
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (num_threads == 0)
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex err_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(err_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pss::util

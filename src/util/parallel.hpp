@@ -1,0 +1,56 @@
+// Minimal shared-memory parallelism utilities for the experiment harness.
+//
+// The schedulers themselves are sequential online algorithms; parallelism in
+// this library lives at the sweep level (many independent instances across
+// many cores). A small fixed thread pool plus a blocking parallel_for is all
+// the harness needs, and keeping it dependency-free keeps the build offline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pss::util {
+
+/// Fixed-size thread pool. Tasks are void() callables; exceptions thrown by
+/// tasks are rethrown from wait_idle() (first one wins).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished. Rethrows the first
+  /// exception raised by any task.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the given number of threads
+/// (0 = hardware concurrency). Blocks until done; rethrows task errors.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads = 0);
+
+}  // namespace pss::util

@@ -1,0 +1,105 @@
+#include "util/piecewise_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pss::util {
+
+PiecewiseLinear PiecewiseLinear::from_knots(std::vector<Knot> knots,
+                                            double final_slope) {
+  PSS_REQUIRE(!knots.empty(), "piecewise-linear function needs >= 1 knot");
+  PSS_REQUIRE(final_slope >= 0.0, "final slope must be nonnegative");
+  PiecewiseLinear f;
+  f.final_slope_ = final_slope;
+  f.knots_.reserve(knots.size());
+  for (const Knot& k : knots) {
+    PSS_REQUIRE(std::isfinite(k.x) && std::isfinite(k.y), "knot not finite");
+    if (!f.knots_.empty()) {
+      Knot& prev = f.knots_.back();
+      PSS_REQUIRE(k.x >= prev.x, "knots must be sorted by x");
+      if (k.x == prev.x) {  // merge duplicate x, keep the later y
+        prev.y = std::max(prev.y, k.y);
+        continue;
+      }
+      // Monotonicity: tolerate floating-point noise, reject real decreases.
+      const double dip = prev.y - k.y;
+      PSS_REQUIRE(dip <= 1e-9 * std::max(1.0, std::abs(prev.y)),
+                  "knots must be nondecreasing in y");
+      f.knots_.push_back({k.x, std::max(k.y, prev.y)});
+      continue;
+    }
+    f.knots_.push_back(k);
+  }
+  return f;
+}
+
+PiecewiseLinear PiecewiseLinear::zero() {
+  return from_knots({{0.0, 0.0}}, 0.0);
+}
+
+double PiecewiseLinear::domain_start() const {
+  PSS_REQUIRE(!knots_.empty(), "empty function");
+  return knots_.front().x;
+}
+
+double PiecewiseLinear::eval(double x) const {
+  PSS_REQUIRE(!knots_.empty(), "empty function");
+  PSS_REQUIRE(x >= knots_.front().x - 1e-12, "x below domain start");
+  if (x <= knots_.front().x) return knots_.front().y;
+  if (x >= knots_.back().x)
+    return knots_.back().y + final_slope_ * (x - knots_.back().x);
+  // Find the segment [it-1, it) containing x.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const Knot& k) { return v < k.x; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+std::optional<double> PiecewiseLinear::first_at_least(double y) const {
+  PSS_REQUIRE(!knots_.empty(), "empty function");
+  if (knots_.front().y >= y) return knots_.front().x;
+  // Find the first knot whose y reaches the target.
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), y,
+      [](const Knot& k, double v) { return k.y < v; });
+  if (it != knots_.end()) {
+    const Knot& hi = *it;
+    const Knot& lo = *(it - 1);
+    if (hi.y == lo.y) return hi.x;  // flat segment ending exactly at y
+    const double t = (y - lo.y) / (hi.y - lo.y);
+    return lo.x + t * (hi.x - lo.x);
+  }
+  if (final_slope_ <= 0.0) return std::nullopt;
+  return knots_.back().x + (y - knots_.back().y) / final_slope_;
+}
+
+PiecewiseLinear PiecewiseLinear::sum(std::span<const PiecewiseLinear> fns) {
+  PSS_REQUIRE(!fns.empty(), "sum of zero functions");
+  std::vector<double> xs;
+  for (const PiecewiseLinear& f : fns) {
+    PSS_REQUIRE(!f.empty(), "summand is empty");
+    PSS_REQUIRE(f.domain_start() == fns.front().domain_start(),
+                "summands must share a domain start");
+    for (const Knot& k : f.knots()) xs.push_back(k.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Knot> knots;
+  knots.reserve(xs.size());
+  for (double x : xs) {
+    double y = 0.0;
+    for (const PiecewiseLinear& f : fns) y += f.eval(x);
+    knots.push_back({x, y});
+  }
+  double slope = 0.0;
+  for (const PiecewiseLinear& f : fns) slope += f.final_slope();
+  return from_knots(std::move(knots), slope);
+}
+
+}  // namespace pss::util

@@ -1,0 +1,61 @@
+// Monotone (nondecreasing), continuous, piecewise-linear functions.
+//
+// These are the workhorse of the library's convex-optimization layer: the
+// amount of work z_k(s) that can be inserted into an atomic interval at a
+// uniform own-speed s is a nondecreasing piecewise-linear function of s
+// (src/chen), and both the PD algorithm and the offline convex solver
+// water-fill by inverting the *sum* of such curves (src/core, src/convex).
+//
+// A function is represented by its knots (x_i, y_i) with x strictly
+// increasing, linear interpolation in between, and a final slope that
+// extends the last segment to +infinity. The domain starts at the first
+// knot's x.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pss::util {
+
+class PiecewiseLinear {
+ public:
+  struct Knot {
+    double x;
+    double y;
+  };
+
+  PiecewiseLinear() = default;
+
+  /// Builds a function from knots. Knots must be sorted by x; exact
+  /// duplicates in x are merged (keeping the last y). y must be
+  /// nondecreasing up to a small tolerance (tiny violations from
+  /// floating-point noise are clamped). final_slope must be >= 0.
+  [[nodiscard]] static PiecewiseLinear from_knots(std::vector<Knot> knots,
+                                                  double final_slope);
+
+  /// The constant-zero function on [0, inf).
+  [[nodiscard]] static PiecewiseLinear zero();
+
+  /// Evaluate at x (x must be >= domain start).
+  [[nodiscard]] double eval(double x) const;
+
+  /// Smallest x with f(x) >= y, or nullopt if y is never reached
+  /// (possible when the final slope is zero).
+  [[nodiscard]] std::optional<double> first_at_least(double y) const;
+
+  /// Pointwise sum. All summands must share a domain start.
+  [[nodiscard]] static PiecewiseLinear sum(
+      std::span<const PiecewiseLinear> fns);
+
+  [[nodiscard]] const std::vector<Knot>& knots() const { return knots_; }
+  [[nodiscard]] double final_slope() const { return final_slope_; }
+  [[nodiscard]] double domain_start() const;
+  [[nodiscard]] bool empty() const { return knots_.empty(); }
+
+ private:
+  std::vector<Knot> knots_;
+  double final_slope_ = 0.0;
+};
+
+}  // namespace pss::util

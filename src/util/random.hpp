@@ -1,0 +1,52 @@
+// Deterministic random-number helper used by workload generators and tests.
+//
+// Every experiment in this repository is seeded; re-running a bench binary
+// reproduces the numbers bit-for-bit on the same platform.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pss::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Pareto with scale x_min > 0 and shape a > 0 (heavy-tailed for small a).
+  [[nodiscard]] double pareto(double x_min, double shape) {
+    const double u = uniform(0.0, 1.0);
+    return x_min / std::pow(1.0 - u, 1.0 / shape);
+  }
+
+  /// Log-normal with the given log-space mean and standard deviation.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pss::util

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pss::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PSS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  PSS_REQUIRE(row.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_precision(int digits) {
+  PSS_REQUIRE(digits >= 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+std::string Table::format(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto print_line = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c)
+      os << (c == 0 ? "| " : " | ") << std::setw(int(widths[c])) << line[c];
+    os << " |\n";
+  };
+  print_line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& line : cells) print_line(line);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  PSS_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << escape(headers_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << escape(format(row[c]));
+    out << '\n';
+  }
+}
+
+}  // namespace pss::util

@@ -1,0 +1,42 @@
+// Plain-text and CSV table output for the benchmark harness.
+//
+// Bench binaries print the paper-shaped tables to stdout and mirror them to
+// CSV files so downstream plotting does not have to re-run experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pss::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of decimal digits used when formatting doubles (default 4).
+  void set_precision(int digits);
+
+  /// Pretty-prints with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV to the given path (overwrites).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace pss::util

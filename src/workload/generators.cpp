@@ -1,0 +1,165 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+
+namespace pss::workload {
+
+namespace {
+
+/// Assign an energy-indexed value, or infinity for must-finish instances.
+void price_job(model::Job& job, double alpha, double value_scale,
+               bool must_finish, util::Rng& rng) {
+  if (must_finish) {
+    job.value = util::kInf;
+    return;
+  }
+  // Jitter the scale by +-50% so rejection boundaries differ across jobs.
+  const double jitter = rng.uniform(0.5, 1.5);
+  job.value = std::max(1e-9, value_scale * jitter *
+                                  energy_fair_value(job, alpha));
+}
+
+}  // namespace
+
+double energy_fair_value(const model::Job& job, double alpha) {
+  return util::pos_pow(job.work, alpha) /
+         util::pos_pow(job.span(), alpha - 1.0);
+}
+
+model::Instance uniform_random(const UniformConfig& config,
+                               model::Machine machine, std::uint64_t seed) {
+  PSS_REQUIRE(config.num_jobs >= 1, "need at least one job");
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  jobs.reserve(std::size_t(config.num_jobs));
+  for (int i = 0; i < config.num_jobs; ++i) {
+    model::Job job;
+    job.release = rng.uniform(0.0, config.horizon);
+    job.deadline = job.release + rng.uniform(config.min_span, config.max_span);
+    job.work = rng.uniform(config.min_work, config.max_work);
+    price_job(job, machine.alpha, config.value_scale, config.must_finish, rng);
+    jobs.push_back(job);
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
+    return a.release < b.release;
+  });
+  return model::make_instance(machine, std::move(jobs));
+}
+
+model::Instance poisson_heavy_tail(const PoissonConfig& config,
+                                   model::Machine machine,
+                                   std::uint64_t seed) {
+  PSS_REQUIRE(config.num_jobs >= 1, "need at least one job");
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  jobs.reserve(std::size_t(config.num_jobs));
+  double t = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    t += rng.exponential(config.arrival_rate);
+    model::Job job;
+    job.release = t;
+    const double span = rng.lognormal(std::log(config.mean_span) -
+                                          0.5 * config.span_sigma *
+                                              config.span_sigma,
+                                      config.span_sigma);
+    job.deadline = job.release + std::max(1e-3, span);
+    job.work = rng.pareto(config.pareto_scale, config.pareto_shape);
+    price_job(job, machine.alpha, config.value_scale, config.must_finish, rng);
+    jobs.push_back(job);
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+model::Instance tight_laxity(const TightConfig& config, model::Machine machine,
+                             std::uint64_t seed) {
+  PSS_REQUIRE(config.num_jobs >= 1, "need at least one job");
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  jobs.reserve(std::size_t(config.num_jobs));
+  for (int i = 0; i < config.num_jobs; ++i) {
+    model::Job job;
+    job.release = rng.uniform(0.0, config.horizon);
+    job.work = rng.uniform(config.min_work, config.max_work);
+    job.deadline = job.release + job.work / config.speed_target;
+    price_job(job, machine.alpha, config.value_scale, config.must_finish, rng);
+    jobs.push_back(job);
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
+    return a.release < b.release;
+  });
+  return model::make_instance(machine, std::move(jobs));
+}
+
+model::Instance adversarial_theorem3(int num_jobs, model::Machine machine,
+                                     double value_multiplier) {
+  PSS_REQUIRE(num_jobs >= 1, "need at least one job");
+  const double alpha = machine.alpha;
+  const double n = double(num_jobs);
+  std::vector<model::Job> jobs;
+  jobs.reserve(std::size_t(num_jobs));
+  for (int j = 1; j <= num_jobs; ++j) {
+    model::Job job;
+    job.release = double(j - 1);
+    job.deadline = n;
+    job.work = std::pow(n - double(j) + 1.0, -1.0 / alpha);
+    if (value_multiplier > 0.0) {
+      // Price far above any energy PD could plan, so nothing is rejected:
+      // the planned speed is bounded by n (total work is O(n^{1-1/alpha})),
+      // so energy per job is below w * n^{alpha-1}; multiply in slack.
+      job.value = value_multiplier * job.work * std::pow(n, alpha - 1.0) *
+                  std::pow(alpha, alpha);
+    } else {
+      job.value = util::kInf;
+    }
+    jobs.push_back(job);
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+model::Instance datacenter_day(const DatacenterConfig& config,
+                               model::Machine machine, std::uint64_t seed) {
+  PSS_REQUIRE(config.num_jobs >= 1, "need at least one job");
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  jobs.reserve(std::size_t(config.num_jobs));
+  // Diurnal intensity via rejection sampling: intensity(t) peaks mid-day.
+  auto intensity = [&](double t_hours) {
+    const double phase = 2.0 * 3.14159265358979 * (t_hours / 24.0 - 0.25);
+    const double base = 1.0;
+    return base + (config.peak_rate_factor - 1.0) * 0.5 * (1.0 + std::sin(phase));
+  };
+  const double max_intensity = config.peak_rate_factor;
+  int produced = 0;
+  while (produced < config.num_jobs) {
+    const double t = rng.uniform(0.0, config.hours);
+    if (rng.uniform(0.0, max_intensity) > intensity(t)) continue;
+    model::Job job;
+    job.release = t;
+    const bool interactive = rng.bernoulli(config.interactive_fraction);
+    if (interactive) {
+      job.work = rng.uniform(0.05, 0.5);
+      job.deadline = job.release + rng.uniform(0.1, 0.5);  // minutes-scale
+    } else {
+      job.work = rng.uniform(1.0, 8.0);
+      job.deadline = job.release + rng.uniform(2.0, 10.0);  // hours-scale
+    }
+    const double scale = interactive ? 3.0 * config.value_scale
+                                     : config.value_scale;
+    job.value = std::max(
+        1e-9, scale * rng.uniform(0.5, 1.5) *
+                  energy_fair_value(job, machine.alpha));
+    jobs.push_back(job);
+    ++produced;
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
+    return a.release < b.release;
+  });
+  return model::make_instance(machine, std::move(jobs));
+}
+
+}  // namespace pss::workload

@@ -1,0 +1,94 @@
+// Workload generators for the experiment suite.
+//
+// The paper is distribution-free, so these families are chosen to exercise
+// every regime of the algorithms: light vs. heavy load, loose vs. tight
+// deadlines, cheap vs. precious jobs, bursty vs. smooth arrivals, plus the
+// exact adversarial instance of Theorem 3's tightness argument. All
+// generators are seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.hpp"
+
+namespace pss::workload {
+
+/// Uniformly random jobs: arrivals uniform on [0, horizon), window lengths
+/// uniform on [min_span, max_span), workloads uniform on [min_work,
+/// max_work). Values are priced at `value_scale` times the energy a job
+/// would need running alone at its density (so value_scale ~ 1 makes
+/// accept/reject genuinely contested).
+struct UniformConfig {
+  int num_jobs = 50;
+  double horizon = 100.0;
+  double min_span = 1.0;
+  double max_span = 20.0;
+  double min_work = 0.5;
+  double max_work = 5.0;
+  double value_scale = 2.0;
+  bool must_finish = false;  // true => all values infinite (classical model)
+};
+[[nodiscard]] model::Instance uniform_random(const UniformConfig& config,
+                                             model::Machine machine,
+                                             std::uint64_t seed);
+
+/// Poisson arrivals with exponential inter-arrival times, Pareto workloads
+/// (heavy tail), log-normal spans, energy-indexed values as above.
+struct PoissonConfig {
+  int num_jobs = 50;
+  double arrival_rate = 1.0;
+  double pareto_shape = 1.8;   // < 2: heavy-tailed workloads
+  double pareto_scale = 0.5;
+  double mean_span = 8.0;
+  double span_sigma = 0.5;     // log-space sigma
+  double value_scale = 2.0;
+  bool must_finish = false;
+};
+[[nodiscard]] model::Instance poisson_heavy_tail(const PoissonConfig& config,
+                                                 model::Machine machine,
+                                                 std::uint64_t seed);
+
+/// Tight-laxity jobs: window length is work / speed_target, so every job
+/// needs roughly `speed_target` if run alone. Stresses the rejection rule
+/// and the multiprocessor dedicated/pool transitions.
+struct TightConfig {
+  int num_jobs = 40;
+  double horizon = 50.0;
+  double speed_target = 2.0;
+  double min_work = 1.0;
+  double max_work = 6.0;
+  double value_scale = 1.0;
+  bool must_finish = false;
+};
+[[nodiscard]] model::Instance tight_laxity(const TightConfig& config,
+                                           model::Machine machine,
+                                           std::uint64_t seed);
+
+/// The lower-bound instance used in Theorem 3 (from Bansal–Kimbrel–Pruhs):
+/// job j (1-based) arrives at time j-1 with workload (n-j+1)^(-1/alpha) and
+/// common deadline n. With `value_multiplier` large every job is accepted
+/// and PD's cost approaches alpha^alpha times the optimum as n grows.
+/// value_multiplier <= 0 makes all jobs must-finish.
+[[nodiscard]] model::Instance adversarial_theorem3(int num_jobs,
+                                                   model::Machine machine,
+                                                   double value_multiplier);
+
+/// Synthetic datacenter day: diurnal sinusoidal arrival intensity over a
+/// 24h horizon with a mix of short interactive jobs (tight windows, high
+/// value density) and long batch jobs (loose windows, low value density).
+struct DatacenterConfig {
+  int num_jobs = 200;
+  double hours = 24.0;
+  double peak_rate_factor = 4.0;  // peak-to-trough arrival intensity
+  double interactive_fraction = 0.6;
+  double value_scale = 2.0;
+};
+[[nodiscard]] model::Instance datacenter_day(const DatacenterConfig& config,
+                                             model::Machine machine,
+                                             std::uint64_t seed);
+
+/// Energy-fair price of a job: the energy it would cost to run the job
+/// alone at constant speed over its own window, i.e. w^alpha / span^(alpha-1).
+[[nodiscard]] double energy_fair_value(const model::Job& job, double alpha);
+
+}  // namespace pss::workload

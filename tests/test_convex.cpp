@@ -1,0 +1,298 @@
+// Tests for src/convex: water-filling, the offline solvers, KKT residuals,
+// the dual function (Lemmas 5/6), and brute-force OPT.
+#include <gtest/gtest.h>
+
+#include "baselines/yds.hpp"
+#include "convex/brute_force.hpp"
+#include "convex/dual.hpp"
+#include "convex/kkt.hpp"
+#include "convex/solver.hpp"
+#include "convex/water_fill.hpp"
+#include "model/power.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using model::Job;
+using model::Machine;
+
+model::Instance random_must_finish(std::uint64_t seed, int n, int m,
+                                   double alpha) {
+  workload::UniformConfig config;
+  config.num_jobs = n;
+  config.horizon = 20.0;
+  config.must_finish = true;
+  return workload::uniform_random(config, Machine{m, alpha}, seed);
+}
+
+// -------------------------------------------------------------- water fill
+
+TEST(WaterFill, SingleEmptyIntervalUniformSpeed) {
+  const auto partition = model::TimePartition::from_boundaries({0.0, 2.0});
+  model::WorkAssignment assignment(1);
+  const auto placement = convex::water_fill(assignment, partition, 1,
+                                            {0, 1}, 3.0, util::kInf);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_DOUBLE_EQ(placement->speed, 1.5);
+  EXPECT_DOUBLE_EQ(placement->amounts[0], 3.0);
+}
+
+TEST(WaterFill, PrefersEmptierInterval) {
+  const auto partition =
+      model::TimePartition::from_boundaries({0.0, 1.0, 2.0});
+  model::WorkAssignment assignment(2);
+  assignment.set_load(0, 99, 2.0);  // busy first interval
+  const auto placement = convex::water_fill(assignment, partition, 1,
+                                            {0, 2}, 1.0, util::kInf);
+  ASSERT_TRUE(placement.has_value());
+  // All work should land in the empty second interval (level 1 < busy 2).
+  EXPECT_DOUBLE_EQ(placement->amounts[0], 0.0);
+  EXPECT_DOUBLE_EQ(placement->amounts[1], 1.0);
+  EXPECT_DOUBLE_EQ(placement->speed, 1.0);
+}
+
+TEST(WaterFill, EqualizesLevelsAcrossIntervals) {
+  const auto partition =
+      model::TimePartition::from_boundaries({0.0, 1.0, 2.0});
+  model::WorkAssignment assignment(2);
+  assignment.set_load(0, 99, 1.0);
+  // Plenty of work: both intervals end at the same level s.
+  const auto placement = convex::water_fill(assignment, partition, 1,
+                                            {0, 2}, 3.0, util::kInf);
+  ASSERT_TRUE(placement.has_value());
+  // Level s satisfies (s - 1) + s = 3 => s = 2.
+  EXPECT_NEAR(placement->speed, 2.0, 1e-12);
+  EXPECT_NEAR(placement->amounts[0], 1.0, 1e-12);
+  EXPECT_NEAR(placement->amounts[1], 2.0, 1e-12);
+}
+
+TEST(WaterFill, RespectsSpeedCap) {
+  const auto partition = model::TimePartition::from_boundaries({0.0, 1.0});
+  model::WorkAssignment assignment(1);
+  EXPECT_FALSE(convex::water_fill(assignment, partition, 1, {0, 1}, 5.0, 2.0)
+                   .has_value());
+  EXPECT_TRUE(convex::water_fill(assignment, partition, 1, {0, 1}, 2.0, 2.0)
+                  .has_value());
+}
+
+TEST(WaterFill, IgnoreJobExcludesOwnMass) {
+  const auto partition = model::TimePartition::from_boundaries({0.0, 1.0});
+  model::WorkAssignment assignment(1);
+  assignment.set_load(0, 7, 5.0);
+  const auto placement =
+      convex::water_fill(assignment, partition, 1, {0, 1}, 2.0, util::kInf, 7);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_DOUBLE_EQ(placement->speed, 2.0);  // own 5.0 was ignored
+}
+
+TEST(WaterFill, MultiprocessorUsesIdleCapacity) {
+  const auto partition = model::TimePartition::from_boundaries({0.0, 1.0});
+  model::WorkAssignment assignment(1);
+  assignment.set_load(0, 50, 4.0);  // one busy processor of two
+  const auto placement = convex::water_fill(assignment, partition, 2,
+                                            {0, 1}, 1.0, util::kInf);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_DOUBLE_EQ(placement->speed, 1.0);  // idle processor absorbs it
+}
+
+TEST(WaterFill, CapacityMatchesPlacementLevel) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto partition =
+        model::TimePartition::from_boundaries({0.0, 1.0, 2.5, 4.0});
+    model::WorkAssignment assignment(3);
+    for (std::size_t k = 0; k < 3; ++k)
+      for (int j = 0; j < 3; ++j)
+        if (rng.bernoulli(0.6))
+          assignment.set_load(k, 100 + j, rng.uniform(0.2, 3.0));
+    const int m = int(rng.uniform_int(1, 3));
+    const double work = rng.uniform(0.5, 6.0);
+    const auto placement = convex::water_fill(assignment, partition, m,
+                                              {0, 3}, work, util::kInf);
+    ASSERT_TRUE(placement.has_value());
+    const double cap = convex::window_capacity(assignment, partition, m,
+                                               {0, 3}, placement->speed);
+    EXPECT_NEAR(cap, work, 1e-7 * std::max(1.0, work));
+  }
+}
+
+// ------------------------------------------------------------------ solver
+
+TEST(Solver, SingleJobRunsAtDensity) {
+  auto inst = model::make_instance(Machine{1, 3.0},
+                                   {Job{-1, 0.0, 4.0, 8.0, 1.0}});
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto result = convex::minimize_energy(inst, partition, {0});
+  EXPECT_TRUE(result.converged);
+  // Energy = 4 * (8/4)^3 = 32.
+  EXPECT_NEAR(result.objective, 32.0, 1e-9);
+}
+
+TEST(Solver, AgreesWithYdsOnSingleProcessor) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = random_must_finish(seed, 14, 1, 3.0);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    std::vector<model::JobId> ids;
+    for (const Job& j : inst.jobs()) ids.push_back(j.id);
+    const auto convex_result = convex::minimize_energy(inst, partition, ids);
+    const auto yds_result = baselines::yds(inst, partition, ids);
+    EXPECT_NEAR(convex_result.objective, yds_result.energy,
+                1e-5 * yds_result.energy)
+        << "seed " << seed;
+  }
+}
+
+TEST(Solver, KktResidualsVanishAtOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const int m = 1 + int(seed % 3);
+    const auto inst = random_must_finish(seed, 12, m, 2.5);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    std::vector<model::JobId> ids;
+    for (const Job& j : inst.jobs()) ids.push_back(j.id);
+    const auto result = convex::minimize_energy(inst, partition, ids);
+    EXPECT_TRUE(result.converged);
+    const auto kkt = convex::kkt_residuals(inst, partition, result.assignment,
+                                           ids);
+    EXPECT_LT(kkt.max_completion_residual, 1e-7) << "seed " << seed;
+    EXPECT_LT(kkt.max_stationarity_residual, 1e-4) << "seed " << seed;
+  }
+}
+
+TEST(Solver, EnergyDecreasesWithMoreProcessors) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst1 = random_must_finish(seed, 12, 1, 3.0);
+    std::vector<model::Job> jobs = inst1.jobs();
+    const auto inst2 = model::Instance(Machine{2, 3.0}, jobs);
+    const auto inst4 = model::Instance(Machine{4, 3.0}, jobs);
+    const auto partition = model::TimePartition::from_jobs(jobs);
+    std::vector<model::JobId> ids;
+    for (const Job& j : jobs) ids.push_back(j.id);
+    const double e1 = convex::minimize_energy(inst1, partition, ids).objective;
+    const double e2 = convex::minimize_energy(inst2, partition, ids).objective;
+    const double e4 = convex::minimize_energy(inst4, partition, ids).objective;
+    EXPECT_LE(e2, e1 * (1.0 + 1e-9));
+    EXPECT_LE(e4, e2 * (1.0 + 1e-9));
+  }
+}
+
+TEST(Solver, RelaxedNeverExceedsIntegralOpt) {
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    workload::UniformConfig config;
+    config.num_jobs = 8;
+    config.horizon = 12.0;
+    config.value_scale = 1.0;
+    const auto inst =
+        workload::uniform_random(config, Machine{2, 2.5}, seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    const auto relaxed = convex::minimize_relaxed(inst, partition);
+    const auto brute = convex::brute_force_opt(inst, partition);
+    EXPECT_LE(relaxed.objective, brute.cost * (1.0 + 1e-6)) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------------- dual
+
+TEST(Dual, ZeroLambdaGivesZero) {
+  const auto inst = random_must_finish(1, 6, 2, 3.0);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto report =
+      convex::dual_value(inst, partition, std::vector<double>(6, 0.0));
+  EXPECT_DOUBLE_EQ(report.value, 0.0);
+}
+
+TEST(Dual, WeakDualityAgainstBruteForce) {
+  util::Rng rng(77);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::UniformConfig config;
+    config.num_jobs = 7;
+    config.horizon = 10.0;
+    config.value_scale = 1.5;
+    const int m = 1 + int(seed % 2);
+    const auto inst = workload::uniform_random(config, Machine{m, 3.0}, seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    const auto brute = convex::brute_force_opt(inst, partition);
+    // Any nonnegative lambda must lower-bound OPT (weak duality).
+    for (int probe = 0; probe < 10; ++probe) {
+      std::vector<double> lambda;
+      for (const Job& j : inst.jobs())
+        lambda.push_back(rng.uniform(0.0, j.rejectable() ? j.value : 5.0));
+      const auto report = convex::dual_value(inst, partition, lambda);
+      EXPECT_LE(report.value, brute.cost * (1.0 + 1e-6))
+          << "seed " << seed << " probe " << probe;
+    }
+  }
+}
+
+TEST(Dual, TopMJobsPerIntervalSelected) {
+  // Three jobs over one interval with m = 2: only the two largest s_hat
+  // accumulate scheduled length.
+  auto inst = model::make_instance(
+      Machine{2, 2.0}, {Job{-1, 0, 1, 1.0, 1.0}, Job{-1, 0, 1, 1.0, 1.0},
+                        Job{-1, 0, 1, 1.0, 1.0}});
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto report = convex::dual_value(inst, partition, {4.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(report.scheduled_length[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.scheduled_length[1], 1.0);
+  EXPECT_DOUBLE_EQ(report.scheduled_length[2], 0.0);
+}
+
+TEST(Dual, EnergyTermMatchesLemma6Formula) {
+  auto inst = model::make_instance(Machine{1, 3.0},
+                                   {Job{-1, 0, 2, 1.0, 1.0}});
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const double lambda = 0.81;
+  const auto report = convex::dual_value(inst, partition, {lambda});
+  const double s_hat = std::pow(lambda / 3.0, 0.5);
+  EXPECT_NEAR(report.s_hat[0], s_hat, 1e-12);
+  EXPECT_NEAR(report.infeasible_energy[0], 2.0 * std::pow(s_hat, 3.0), 1e-12);
+  EXPECT_NEAR(report.value,
+              (1.0 - 3.0) * 2.0 * std::pow(s_hat, 3.0) + lambda, 1e-12);
+}
+
+// ------------------------------------------------------------- brute force
+
+TEST(BruteForce, RejectsWorthlessJob) {
+  // A job whose value is far below its unavoidable energy must be rejected.
+  auto inst = model::make_instance(
+      Machine{1, 3.0},
+      {Job{-1, 0, 1, 4.0, 0.01}, Job{-1, 0, 1, 0.1, 100.0}});
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto result = convex::brute_force_opt(inst, partition);
+  EXPECT_FALSE(result.accepted[0]);
+  EXPECT_TRUE(result.accepted[1]);
+  EXPECT_NEAR(result.lost_value, 0.01, 1e-12);
+}
+
+TEST(BruteForce, KeepsMustFinishJobs) {
+  auto inst = model::make_instance(
+      Machine{1, 3.0},
+      {Job{-1, 0, 1, 4.0, util::kInf}, Job{-1, 0, 1, 1.0, 0.001}});
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto result = convex::brute_force_opt(inst, partition);
+  EXPECT_TRUE(result.accepted[0]);
+  EXPECT_FALSE(result.accepted[1]);
+}
+
+TEST(BruteForce, GuardsAgainstLargeInstances) {
+  const auto inst = random_must_finish(1, 20, 1, 3.0);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  EXPECT_THROW(convex::brute_force_opt(inst, partition, 16),
+               std::invalid_argument);
+}
+
+TEST(BruteForce, AcceptAllWhenValuesAreHuge) {
+  workload::UniformConfig config;
+  config.num_jobs = 6;
+  config.value_scale = 1000.0;
+  const auto inst =
+      workload::uniform_random(config, Machine{1, 3.0}, 5);
+  const auto partition = model::TimePartition::from_jobs(inst.jobs());
+  const auto result = convex::brute_force_opt(inst, partition);
+  for (bool a : result.accepted) EXPECT_TRUE(a);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,306 @@
+// Tests for src/core: the PD algorithm of Listing 1 — decision logic, dual
+// variables, the commitment/no-redistribution property, online partition
+// refinement, and the certified alpha^alpha bound of Theorem 3 (as
+// parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chen/interval_schedule.hpp"
+#include "convex/brute_force.hpp"
+#include "core/rejection.hpp"
+#include "core/run.hpp"
+#include "model/power.hpp"
+#include "model/schedule.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using model::Job;
+using model::Machine;
+
+// ------------------------------------------------------- rejection formulas
+
+TEST(Rejection, OptimalDeltaFormula) {
+  EXPECT_DOUBLE_EQ(core::optimal_delta(3.0), std::pow(3.0, -2.0));
+  EXPECT_DOUBLE_EQ(core::optimal_delta(2.0), 0.5);
+}
+
+TEST(Rejection, SpeedAtOptimalDeltaEqualsCllThreshold) {
+  // Section 3: with delta = alpha^(1-alpha), PD's rejection speed coincides
+  // with the Chan–Lam–Li admission threshold.
+  for (double alpha : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    for (double v : {0.1, 1.0, 7.0}) {
+      for (double w : {0.3, 1.0, 4.0}) {
+        EXPECT_NEAR(
+            core::rejection_speed(v, w, alpha, core::optimal_delta(alpha)),
+            core::cll_threshold_speed(v, w, alpha), 1e-9)
+            << "alpha=" << alpha << " v=" << v << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(Rejection, InfiniteValueNeverRejects) {
+  EXPECT_TRUE(std::isinf(
+      core::rejection_speed(util::kInf, 1.0, 3.0, core::optimal_delta(3.0))));
+}
+
+// ----------------------------------------------------------- PD decisions
+
+TEST(PdScheduler, LoneJobRunsAtDensity) {
+  core::PdScheduler pd(Machine{1, 3.0});
+  const auto decision = pd.on_arrival(Job{0, 0.0, 4.0, 2.0, util::kInf});
+  EXPECT_TRUE(decision.accepted);
+  EXPECT_NEAR(decision.speed, 0.5, 1e-12);
+  // lambda = delta * w * alpha * s^(alpha-1) = (1/9) * 2 * 3 * 0.25.
+  EXPECT_NEAR(decision.lambda, (1.0 / 9.0) * 2.0 * 3.0 * 0.25, 1e-12);
+}
+
+TEST(PdScheduler, AcceptRejectBoundary) {
+  // m=1, alpha=2, delta=1/2: a lone unit job on a unit window is accepted
+  // iff v >= delta * alpha = 1.
+  core::PdScheduler accept_pd(Machine{1, 2.0});
+  EXPECT_TRUE(accept_pd.on_arrival(Job{0, 0, 1, 1.0, 1.01}).accepted);
+  core::PdScheduler reject_pd(Machine{1, 2.0});
+  const auto rejected = reject_pd.on_arrival(Job{0, 0, 1, 1.0, 0.99});
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_DOUBLE_EQ(rejected.lambda, 0.99);  // lambda_j = v_j on rejection
+  EXPECT_DOUBLE_EQ(reject_pd.planned_energy(), 0.0);
+}
+
+TEST(PdScheduler, RejectedJobLeavesNoLoad) {
+  core::PdScheduler pd(Machine{1, 2.0});
+  pd.on_arrival(Job{0, 0, 1, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(pd.assignment().total_of(0), 0.0);
+  const auto schedule = pd.final_schedule();
+  EXPECT_TRUE(schedule.is_rejected(0));
+}
+
+TEST(PdScheduler, EarlierCommitmentsNeverMove) {
+  core::PdScheduler pd(Machine{1, 3.0});
+  pd.on_arrival(Job{0, 0.0, 4.0, 2.0, util::kInf});
+  // Snapshot job 0's per-interval loads scaled to sub-interval lengths.
+  // After job 1 arrives (splitting [0,4) at 1 and 2), job 0's loads must
+  // still be 0.5 * interval length everywhere (its committed speed).
+  pd.on_arrival(Job{1, 1.0, 2.0, 3.0, util::kInf});
+  const auto& partition = pd.partition();
+  for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
+    EXPECT_NEAR(pd.assignment().load_of(k, 0), 0.5 * partition.length(k),
+                1e-12)
+        << "interval " << k;
+  }
+}
+
+TEST(PdScheduler, RefinementSplitsProportionally) {
+  core::PdScheduler pd(Machine{2, 2.5});
+  pd.on_arrival(Job{0, 0.0, 8.0, 4.0, util::kInf});
+  pd.on_arrival(Job{1, 3.0, 5.0, 1.0, util::kInf});
+  // Partition now 0,3,5,8; job 0 committed at speed 0.5 throughout.
+  const auto& partition = pd.partition();
+  ASSERT_EQ(partition.num_intervals(), 3u);
+  EXPECT_NEAR(pd.assignment().load_of(0, 0), 1.5, 1e-12);
+  EXPECT_NEAR(pd.assignment().load_of(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(pd.assignment().load_of(2, 0), 1.5, 1e-12);
+}
+
+TEST(PdScheduler, MarginalEqualityInvariant) {
+  // After each arrival, the accepted job's own-speed must be equal on every
+  // interval carrying its load and no other interval in its window may have
+  // a slower slowest-processor (it would have been cheaper).
+  workload::UniformConfig config;
+  config.num_jobs = 25;
+  config.horizon = 30.0;
+  config.value_scale = 2.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst =
+        workload::uniform_random(config, Machine{3, 2.5}, seed);
+    core::PdScheduler pd(inst.machine());
+    for (const Job& job : inst.jobs_by_release()) {
+      const auto decision = pd.on_arrival(job);
+      if (!decision.accepted) continue;
+      const auto& partition = pd.partition();
+      const auto& assignment = pd.assignment();
+      const auto window = partition.job_range(job);
+      for (std::size_t k = window.first; k < window.last; ++k) {
+        chen::IntervalSolution solution(assignment.loads(k), 3,
+                                        partition.length(k));
+        const double load = assignment.load_of(k, job.id);
+        if (load > 1e-9) {
+          EXPECT_NEAR(solution.speed_of(job.id), decision.speed,
+                      1e-6 * std::max(1.0, decision.speed))
+              << "seed " << seed << " job " << job.id << " interval " << k;
+        } else {
+          // No load here: inserting would have cost at least s*.
+          EXPECT_GE(solution.slowest_speed(), decision.speed - 1e-7)
+              << "seed " << seed << " job " << job.id << " interval " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(PdScheduler, ArrivalOrderEnforced) {
+  core::PdScheduler pd(Machine{1, 3.0});
+  pd.on_arrival(Job{0, 5.0, 6.0, 1.0, util::kInf});
+  EXPECT_THROW(pd.on_arrival(Job{1, 1.0, 2.0, 1.0, util::kInf}),
+               std::invalid_argument);
+}
+
+TEST(PdScheduler, PlannedEnergyMatchesRealizedSchedule) {
+  workload::UniformConfig config;
+  config.num_jobs = 20;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst =
+        workload::uniform_random(config, Machine{2, 3.0}, seed);
+    const auto result = core::run_pd(inst);
+    EXPECT_NEAR(result.cost.energy,
+                result.schedule.energy(inst.machine().alpha),
+                1e-9 * std::max(1.0, result.cost.energy));
+  }
+}
+
+TEST(PdScheduler, LargerDeltaRejectsMore) {
+  workload::UniformConfig config;
+  config.num_jobs = 40;
+  config.value_scale = 1.0;
+  const auto inst = workload::uniform_random(config, Machine{1, 3.0}, 9);
+  const auto strict = core::run_pd(inst, {.delta = 1.0});
+  const auto loose = core::run_pd(inst, {.delta = core::optimal_delta(3.0)});
+  int strict_accepted = 0, loose_accepted = 0;
+  for (bool a : strict.accepted) strict_accepted += a;
+  for (bool a : loose.accepted) loose_accepted += a;
+  // delta scales the perceived energy price: delta = 1 > alpha^(1-alpha)
+  // makes jobs look more expensive, so acceptance cannot increase.
+  EXPECT_LE(strict_accepted, loose_accepted);
+}
+
+TEST(PdScheduler, MustFinishInstanceAcceptsEverything) {
+  workload::UniformConfig config;
+  config.num_jobs = 30;
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(config, Machine{2, 3.0}, 11);
+  const auto result = core::run_pd(inst);
+  for (bool a : result.accepted) EXPECT_TRUE(a);
+  EXPECT_DOUBLE_EQ(result.cost.lost_value, 0.0);
+}
+
+// ----------------------------------------- Theorem 3 (parameterized sweep)
+
+struct SweepParam {
+  double alpha;
+  int m;
+  int family;  // 0 = uniform, 1 = poisson heavy-tail, 2 = tight laxity
+};
+
+class Theorem3Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+model::Instance make_family(int family, Machine machine, std::uint64_t seed) {
+  switch (family) {
+    case 0: {
+      workload::UniformConfig config;
+      config.num_jobs = 40;
+      config.value_scale = 1.5;
+      return workload::uniform_random(config, machine, seed);
+    }
+    case 1: {
+      workload::PoissonConfig config;
+      config.num_jobs = 40;
+      config.value_scale = 1.5;
+      return workload::poisson_heavy_tail(config, machine, seed);
+    }
+    default: {
+      workload::TightConfig config;
+      config.num_jobs = 30;
+      config.value_scale = 1.0;
+      return workload::tight_laxity(config, machine, seed);
+    }
+  }
+}
+
+TEST_P(Theorem3Sweep, CertifiedRatioWithinAlphaToAlpha) {
+  const SweepParam param = GetParam();
+  const double bound = std::pow(param.alpha, param.alpha);
+  const Machine machine{param.m, param.alpha};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = make_family(param.family, machine, seed);
+    const auto result = core::run_pd(inst);
+    ASSERT_GT(result.dual_lower_bound, 0.0) << "seed " << seed;
+    EXPECT_LE(result.certified_ratio, bound * (1.0 + 1e-6))
+        << "alpha=" << param.alpha << " m=" << param.m
+        << " family=" << param.family << " seed=" << seed;
+    const auto validation = model::validate_schedule(result.schedule, inst);
+    EXPECT_TRUE(validation.ok) << validation.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaMachineFamilies, Theorem3Sweep,
+    ::testing::Values(
+        SweepParam{1.3, 1, 0}, SweepParam{1.3, 4, 1}, SweepParam{2.0, 1, 0},
+        SweepParam{2.0, 2, 1}, SweepParam{2.0, 4, 2}, SweepParam{2.5, 3, 0},
+        SweepParam{3.0, 1, 0}, SweepParam{3.0, 1, 2}, SweepParam{3.0, 2, 0},
+        SweepParam{3.0, 4, 1}, SweepParam{3.0, 8, 0}, SweepParam{4.0, 2, 2}),
+    [](const auto& info) {
+      const SweepParam& p = info.param;
+      return "alpha" + std::to_string(int(p.alpha * 10)) + "_m" +
+             std::to_string(p.m) + "_f" + std::to_string(p.family);
+    });
+
+// Exact competitive ratio against brute-force OPT on tiny instances.
+TEST(Theorem3, ExactRatioAgainstBruteForce) {
+  workload::UniformConfig config;
+  config.num_jobs = 8;
+  config.horizon = 10.0;
+  config.value_scale = 1.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int m = 1 + int(seed % 3);
+    const double alpha = 2.0 + double(seed % 2);
+    const auto inst =
+        workload::uniform_random(config, Machine{m, alpha}, seed);
+    const auto pd = core::run_pd(inst);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    const auto opt = convex::brute_force_opt(inst, partition);
+    ASSERT_GT(opt.cost, 0.0);
+    const double ratio = pd.cost.total() / opt.cost;
+    EXPECT_GE(ratio, 1.0 - 1e-6) << "PD beat OPT?! seed " << seed;
+    EXPECT_LE(ratio, std::pow(alpha, alpha) * (1.0 + 1e-6))
+        << "seed " << seed;
+    // The dual bound must bracket OPT from below.
+    EXPECT_LE(pd.dual_lower_bound, opt.cost * (1.0 + 1e-6))
+        << "seed " << seed;
+  }
+}
+
+// The adversarial instance drives PD's ratio toward alpha^alpha (tightness).
+TEST(Theorem3, LowerBoundInstanceApproachesBound) {
+  const double alpha = 2.0;
+  const Machine machine{1, alpha};
+  auto measure = [&](int n) {
+    const auto inst = workload::adversarial_theorem3(n, machine, 1e6);
+    const auto pd = core::run_pd(inst);
+    // All jobs must be accepted (values are huge).
+    for (bool a : pd.accepted) EXPECT_TRUE(a);
+    // OPT for this instance: all jobs finished; energy via the convex
+    // solver on one processor.
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    std::vector<model::JobId> ids;
+    for (const Job& j : inst.jobs()) ids.push_back(j.id);
+    const double opt =
+        convex::minimize_energy(inst, partition, ids).objective;
+    return pd.cost.total() / opt;
+  };
+  const double r16 = measure(16);
+  const double r64 = measure(64);
+  const double r192 = measure(192);
+  EXPECT_GT(r64, r16);
+  EXPECT_GT(r192, r64);
+  EXPECT_LE(r192, std::pow(alpha, alpha) * (1.0 + 1e-6));
+  // At n = 192 the ratio should already exceed half the asymptotic bound.
+  EXPECT_GT(r192, 0.5 * std::pow(alpha, alpha));
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,243 @@
+// Deeper tests of the replanning engine's execution semantics and
+// cross-cutting edge cases that the per-module suites do not reach:
+// partial-interval cuts at arrival times, speed-multiplier compression,
+// degenerate instances (single instants, equal jobs, back-to-back
+// arrivals), and generator/IO interplay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/algorithms.hpp"
+#include "baselines/yds.hpp"
+#include "core/run.hpp"
+#include "io/instance_io.hpp"
+#include "model/schedule.hpp"
+#include "sim/compare.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using model::Job;
+using model::Machine;
+
+// ------------------------------------------- execution-cut correctness
+
+TEST(ReplanEngine, MidIntervalArrivalCutsExecutionExactly) {
+  // Job 0 runs [0,4) under the first plan; job 1 arrives at 1.5 (inside
+  // the planned interval). Work done by then must be exactly 1.5 * speed,
+  // and the total work still completes.
+  const auto inst = model::make_instance(
+      Machine{1, 2.0},
+      {Job{-1, 0.0, 4.0, 4.0, util::kInf}, Job{-1, 1.5, 2.0, 1.0, util::kInf}});
+  const auto oa = baselines::run_oa(inst);
+  const auto validation = model::validate_schedule(oa.schedule, inst);
+  ASSERT_TRUE(validation.ok) << validation.summary();
+  EXPECT_NEAR(oa.schedule.work_done(0), 4.0, 1e-9);
+  EXPECT_NEAR(oa.schedule.work_done(1), 1.0, 1e-9);
+  // Before 1.5 only job 0 exists and OA runs it at density 1.
+  double early_work = 0.0;
+  for (const auto& seg : oa.schedule.processor(0))
+    if (seg.start < 1.5)
+      early_work += seg.speed * (std::min(seg.end, 1.5) - seg.start);
+  EXPECT_NEAR(early_work, 1.5, 1e-9);
+}
+
+TEST(ReplanEngine, MultiplierCompressionKeepsWindows) {
+  // qOA at q=2 halves every execution span; jobs must still fit their
+  // windows and complete exactly once.
+  workload::UniformConfig config;
+  config.num_jobs = 15;
+  config.must_finish = true;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst =
+        workload::uniform_random(config, Machine{2, 3.0}, seed);
+    const auto qoa = baselines::run_qoa(inst, 2.0);
+    const auto validation = model::validate_schedule(qoa.schedule, inst);
+    EXPECT_TRUE(validation.ok) << "seed " << seed << ": "
+                               << validation.summary();
+    for (const Job& j : inst.jobs())
+      EXPECT_NEAR(qoa.schedule.work_done(j.id), j.work, 1e-6 * j.work);
+  }
+}
+
+TEST(ReplanEngine, QoaEnergyBetweenOaAndNaiveScaling) {
+  // Running q times faster costs at most q^alpha times OA's energy
+  // (each executed slice costs q^alpha more power for 1/q the time =>
+  // q^(alpha-1) per slice), and finishing early can only reduce later
+  // plans. Loose but real sanity bracket.
+  const double alpha = 3.0, q = 1.5;
+  workload::UniformConfig config;
+  config.num_jobs = 12;
+  config.must_finish = true;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst =
+        workload::uniform_random(config, Machine{1, alpha}, seed);
+    const double oa = baselines::run_oa(inst).cost.energy;
+    const double qoa = baselines::run_qoa(inst, q).cost.energy;
+    EXPECT_GE(qoa, oa * (1.0 - 1e-9)) << "seed " << seed;
+    EXPECT_LE(qoa, oa * std::pow(q, alpha - 1.0) * (1.0 + 1e-9))
+        << "seed " << seed;
+  }
+}
+
+TEST(ReplanEngine, BackToBackArrivalsProcessedInOrder) {
+  // Three jobs at the same instant with CLL admission: decisions are
+  // sequential, so an expensive job admitted first can push a later one
+  // over the threshold.
+  const double alpha = 3.0;
+  std::vector<Job> jobs{
+      Job{-1, 0.0, 1.0, 1.0, 1e6},   // admitted, huge value
+      Job{-1, 0.0, 1.0, 1.0, 1e6},   // admitted
+      Job{-1, 0.0, 1.0, 1.0, 0.9}};  // must now run at speed >= 3
+  const auto inst = model::make_instance(Machine{1, alpha}, std::move(jobs));
+  const auto cll = baselines::run_cll(inst);
+  EXPECT_TRUE(cll.admitted[0]);
+  EXPECT_TRUE(cll.admitted[1]);
+  EXPECT_FALSE(cll.admitted[2]);
+  // Alone, the same cheap job would have been admitted.
+  const auto lone = model::make_instance(Machine{1, alpha},
+                                         {Job{-1, 0.0, 1.0, 1.0, 0.9}});
+  EXPECT_TRUE(baselines::run_cll(lone).admitted[0]);
+}
+
+// --------------------------------------------------- degenerate shapes
+
+TEST(EdgeCases, ManyIdenticalJobs) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(Job{-1, 0.0, 2.0, 1.0, 5.0});
+  const auto inst = model::make_instance(Machine{4, 3.0}, std::move(jobs));
+  const auto pd = core::run_pd(inst);
+  EXPECT_TRUE(model::validate_schedule(pd.schedule, inst).ok);
+  // Commit-time planned speeds rise monotonically: each identical arrival
+  // sees a fuller machine (the online sequence matters, not the job).
+  double prev = 0.0;
+  for (std::size_t j = 0; j < inst.num_jobs(); ++j) {
+    ASSERT_TRUE(pd.accepted[j]);
+    EXPECT_GE(pd.speed[j], prev - 1e-12) << "job " << j;
+    prev = pd.speed[j];
+  }
+  // The *realized* schedule pools them all at one common speed.
+  double common = -1.0;
+  for (int p = 0; p < pd.schedule.num_processors(); ++p)
+    for (const auto& seg : pd.schedule.processor(p)) {
+      if (common < 0) common = seg.speed;
+      EXPECT_NEAR(seg.speed, common, 1e-9);
+    }
+}
+
+TEST(EdgeCases, ZeroLaxityChain) {
+  // Jobs whose windows tile the line exactly with laxity 0: each must run
+  // at exactly its density; nothing can shift.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back(Job{-1, double(i), double(i + 1), 2.0, util::kInf});
+  const auto inst = model::make_instance(Machine{1, 2.0}, std::move(jobs));
+  const auto pd = core::run_pd(inst);
+  EXPECT_TRUE(model::validate_schedule(pd.schedule, inst).ok);
+  for (std::size_t j = 0; j < inst.num_jobs(); ++j)
+    EXPECT_NEAR(pd.speed[j], 2.0, 1e-9);
+  // Certified ratio should be modest: these jobs leave OPT no choice
+  // either.
+  EXPECT_LT(pd.certified_ratio, 2.0);
+}
+
+TEST(EdgeCases, ExtremeAlphaValues) {
+  workload::UniformConfig config;
+  config.num_jobs = 15;
+  config.value_scale = 1.0;
+  for (double alpha : {1.01, 1.1, 8.0, 16.0}) {
+    const auto inst =
+        workload::uniform_random(config, Machine{2, alpha}, 3);
+    const auto pd = core::run_pd(inst);
+    ASSERT_GT(pd.dual_lower_bound, 0.0) << "alpha " << alpha;
+    EXPECT_LE(pd.certified_ratio, std::pow(alpha, alpha) * (1 + 1e-6))
+        << "alpha " << alpha;
+    EXPECT_TRUE(model::validate_schedule(pd.schedule, inst).ok)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(EdgeCases, VastlyDifferentTimescales) {
+  // Millisecond jobs inside an hours-long batch window.
+  std::vector<Job> jobs{Job{-1, 0.0, 10000.0, 100.0, util::kInf}};
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(Job{-1, 100.0 + i, 100.0 + i + 1e-3, 0.01, util::kInf});
+  const auto inst = model::make_instance(Machine{1, 3.0}, std::move(jobs));
+  const auto pd = core::run_pd(inst);
+  const auto validation = model::validate_schedule(pd.schedule, inst);
+  EXPECT_TRUE(validation.ok) << validation.summary();
+  for (std::size_t j = 0; j < inst.num_jobs(); ++j)
+    EXPECT_TRUE(pd.accepted[j]);
+}
+
+TEST(EdgeCases, SubUlpPoolChunksRegression) {
+  // Regression: this exact configuration once produced a McNaughton chunk
+  // smaller than one ulp of the absolute time coordinate (t ~ 10), which
+  // materialized as a zero-duration segment and crashed realization.
+  workload::DatacenterConfig config;
+  config.num_jobs = 150;
+  const auto inst = workload::datacenter_day(config, Machine{4, 3.0}, 2);
+  const auto pd = core::run_pd(inst);
+  const auto validation = model::validate_schedule(pd.schedule, inst);
+  EXPECT_TRUE(validation.ok) << validation.summary();
+}
+
+// ----------------------------------------------- IO x generators matrix
+
+TEST(IoMatrix, EveryGeneratorRoundTripsAndReruns) {
+  const Machine machine{2, 2.5};
+  std::vector<model::Instance> instances;
+  {
+    workload::UniformConfig c;
+    c.num_jobs = 12;
+    instances.push_back(workload::uniform_random(c, machine, 1));
+  }
+  {
+    workload::PoissonConfig c;
+    c.num_jobs = 12;
+    instances.push_back(workload::poisson_heavy_tail(c, machine, 1));
+  }
+  {
+    workload::TightConfig c;
+    c.num_jobs = 12;
+    instances.push_back(workload::tight_laxity(c, machine, 1));
+  }
+  {
+    workload::DatacenterConfig c;
+    c.num_jobs = 12;
+    instances.push_back(workload::datacenter_day(c, machine, 1));
+  }
+  instances.push_back(workload::adversarial_theorem3(12, machine, 1e6));
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const std::string path =
+        testing::TempDir() + "/pss_matrix_" + std::to_string(i) + ".pssi";
+    io::save_instance(path, instances[i]);
+    const auto restored = io::load_instance(path);
+    // Costs must match bit-for-bit through the round trip.
+    const auto a = core::run_pd(instances[i]);
+    const auto b = core::run_pd(restored);
+    EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total()) << "family " << i;
+    EXPECT_DOUBLE_EQ(a.dual_lower_bound, b.dual_lower_bound)
+        << "family " << i;
+  }
+}
+
+// --------------------------------------------------------- compare rows
+
+TEST(CompareHelper, MustFinishInstanceHasNoRejections) {
+  workload::UniformConfig config;
+  config.num_jobs = 10;
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(config, Machine{1, 3.0}, 2);
+  for (const auto& row : sim::compare_algorithms(inst)) {
+    EXPECT_EQ(row.rejected, 0) << row.name;
+    EXPECT_DOUBLE_EQ(row.lost_value, 0.0) << row.name;
+    EXPECT_TRUE(row.valid) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace pss

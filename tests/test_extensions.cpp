@@ -1,0 +1,162 @@
+// Tests for the extension features: discrete speed levels (DVFS grids) and
+// the PdScheduler instrumentation counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/discrete_speeds.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using core::SpeedLevels;
+using model::Machine;
+
+// ---------------------------------------------------------- speed levels
+
+TEST(SpeedLevels, SortsAndDedupes) {
+  SpeedLevels levels({3.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(levels.levels().size(), 3u);
+  EXPECT_DOUBLE_EQ(levels.min_level(), 1.0);
+  EXPECT_DOUBLE_EQ(levels.max_level(), 3.0);
+}
+
+TEST(SpeedLevels, GeometricGridEndsExact) {
+  const auto levels = SpeedLevels::geometric(0.5, 8.0, 5);
+  EXPECT_EQ(levels.levels().size(), 5u);
+  EXPECT_DOUBLE_EQ(levels.min_level(), 0.5);
+  EXPECT_DOUBLE_EQ(levels.max_level(), 8.0);
+  // Ratio constant: 8/0.5 = 16 over 4 steps => ratio 2.
+  for (std::size_t i = 0; i + 1 < levels.levels().size(); ++i)
+    EXPECT_NEAR(levels.levels()[i + 1] / levels.levels()[i], 2.0, 1e-9);
+}
+
+TEST(SpeedLevels, BracketCases) {
+  SpeedLevels levels({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(levels.bracket(0.5).lo, 1.0);   // below grid
+  EXPECT_DOUBLE_EQ(levels.bracket(0.5).hi, 1.0);
+  EXPECT_DOUBLE_EQ(levels.bracket(2.0).lo, 2.0);   // exact level
+  EXPECT_DOUBLE_EQ(levels.bracket(2.0).hi, 2.0);
+  EXPECT_DOUBLE_EQ(levels.bracket(3.0).lo, 2.0);   // interior
+  EXPECT_DOUBLE_EQ(levels.bracket(3.0).hi, 4.0);
+  EXPECT_THROW(levels.bracket(5.0), std::invalid_argument);
+}
+
+TEST(SpeedLevels, RejectsBadConstruction) {
+  EXPECT_THROW(SpeedLevels({}), std::invalid_argument);
+  EXPECT_THROW(SpeedLevels({0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(SpeedLevels::geometric(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Discretize, PreservesWorkAndFeasibility) {
+  workload::UniformConfig config;
+  config.num_jobs = 20;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = workload::uniform_random(config, Machine{2, 3.0}, seed);
+    const auto pd = core::run_pd(inst);
+    // Build a grid that covers the fastest observed speed.
+    double s_max = 0.0;
+    for (int p = 0; p < pd.schedule.num_processors(); ++p)
+      for (const auto& seg : pd.schedule.processor(p))
+        s_max = std::max(s_max, seg.speed);
+    const auto levels = SpeedLevels::geometric(0.01, s_max * 1.01, 12);
+    const auto discrete = core::discretize_schedule(pd.schedule, levels);
+
+    for (const auto& job : inst.jobs()) {
+      if (!pd.accepted[std::size_t(job.id)]) continue;
+      EXPECT_NEAR(discrete.work_done(job.id), job.work, 1e-6 * job.work)
+          << "seed " << seed << " job " << job.id;
+    }
+    const auto validation = model::validate_schedule(discrete, inst);
+    EXPECT_TRUE(validation.ok) << "seed " << seed << ": "
+                               << validation.summary();
+    // Segments only use grid speeds.
+    for (int p = 0; p < discrete.num_processors(); ++p)
+      for (const auto& seg : discrete.processor(p)) {
+        bool on_grid = false;
+        for (double level : levels.levels())
+          on_grid |= std::abs(seg.speed - level) < 1e-12;
+        EXPECT_TRUE(on_grid) << "off-grid speed " << seg.speed;
+      }
+  }
+}
+
+TEST(Discretize, EnergyOverheadWithinWorstCase) {
+  workload::PoissonConfig config;
+  config.num_jobs = 25;
+  config.must_finish = true;
+  for (int count : {3, 6, 12, 24}) {
+    const auto inst =
+        workload::poisson_heavy_tail(config, Machine{2, 3.0}, 5);
+    const auto pd = core::run_pd(inst);
+    double s_max = 0.0;
+    for (int p = 0; p < pd.schedule.num_processors(); ++p)
+      for (const auto& seg : pd.schedule.processor(p))
+        s_max = std::max(s_max, seg.speed);
+    const auto levels = SpeedLevels::geometric(0.01, s_max * 1.01, count);
+    const auto discrete = core::discretize_schedule(pd.schedule, levels);
+    const double continuous_energy = pd.schedule.energy(3.0);
+    const double discrete_energy = discrete.energy(3.0);
+    EXPECT_GE(discrete_energy, continuous_energy * (1.0 - 1e-9));
+    EXPECT_LE(discrete_energy,
+              continuous_energy * levels.worst_overhead(3.0) * (1.0 + 1e-9))
+        << "levels " << count;
+  }
+}
+
+TEST(Discretize, OverheadShrinksWithGridDensity) {
+  SpeedLevels coarse = SpeedLevels::geometric(0.1, 10.0, 4);
+  SpeedLevels fine = SpeedLevels::geometric(0.1, 10.0, 32);
+  EXPECT_GT(coarse.worst_overhead(3.0), fine.worst_overhead(3.0));
+  // 32 levels across a 100x speed range: per-step ratio ~1.16, chord gap
+  // below 2%.
+  EXPECT_LT(fine.worst_overhead(3.0), 1.02);
+}
+
+TEST(Discretize, SlowSegmentsIdleAtLowestLevel) {
+  model::Schedule s(1);
+  s.add_segment(0, {0.0, 4.0, 0.25, 0});  // work = 1, below min level 1.0
+  SpeedLevels levels({1.0, 2.0});
+  const auto d = core::discretize_schedule(s, levels);
+  ASSERT_EQ(d.processor(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(d.processor(0)[0].speed, 1.0);
+  EXPECT_NEAR(d.work_done(0), 1.0, 1e-12);
+  EXPECT_NEAR(d.processor(0)[0].duration(), 1.0, 1e-12);  // rest is idle
+}
+
+// --------------------------------------------------------------- counters
+
+TEST(PdCounters, TrackArrivalsAndDecisions) {
+  workload::UniformConfig config;
+  config.num_jobs = 30;
+  config.value_scale = 0.7;
+  const auto inst = workload::uniform_random(config, Machine{2, 3.0}, 3);
+  core::PdScheduler pd(inst.machine());
+  for (const auto& job : inst.jobs_by_release()) pd.on_arrival(job);
+  const auto& counters = pd.counters();
+  EXPECT_EQ(counters.arrivals, 30);
+  EXPECT_EQ(counters.accepted + counters.rejected, 30);
+  EXPECT_GT(counters.rejected, 0);  // cheap jobs exist at scale 0.7
+  EXPECT_EQ(counters.max_intervals, pd.partition().num_intervals());
+  EXPECT_GT(counters.max_window, 0u);
+}
+
+TEST(PdCounters, SplitsCountRefinements) {
+  core::PdScheduler pd(Machine{1, 3.0});
+  pd.on_arrival({0, 0.0, 10.0, 1.0, util::kInf});
+  EXPECT_EQ(pd.counters().interval_splits, 0);
+  pd.on_arrival({1, 2.0, 8.0, 1.0, util::kInf});  // splits [0,10) twice
+  EXPECT_EQ(pd.counters().interval_splits, 2);
+  pd.on_arrival({2, 2.0, 8.0, 1.0, util::kInf});  // boundaries exist already
+  EXPECT_EQ(pd.counters().interval_splits, 2);
+  pd.on_arrival({3, 4.0, 12.0, 1.0, util::kInf});  // one split + extension
+  EXPECT_EQ(pd.counters().interval_splits, 3);
+  EXPECT_EQ(pd.counters().horizon_extensions, 1);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,237 @@
+// Cross-module integration tests: the duality chain of Section 4, the
+// classical energy-only hierarchy, the Fig. 3 structural comparison of PD
+// vs OA, and end-to-end golden regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss.hpp"
+
+#include "baselines/algorithms.hpp"
+#include "baselines/avr.hpp"
+#include "baselines/bkp.hpp"
+#include "baselines/yds.hpp"
+#include "convex/brute_force.hpp"
+#include "convex/dual.hpp"
+#include "convex/solver.hpp"
+#include "core/run.hpp"
+#include "model/schedule.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using model::Job;
+using model::Machine;
+
+std::vector<model::JobId> all_ids(const model::Instance& inst) {
+  std::vector<model::JobId> ids;
+  for (const Job& j : inst.jobs()) ids.push_back(j.id);
+  return ids;
+}
+
+// --------------------------------------------------------- duality chain
+
+// g(lambda-tilde) <= CP-opt <= IMP-opt (= brute OPT) <= cost(PD)
+//                <= alpha^alpha * g(lambda-tilde).
+TEST(DualityChain, HoldsOnSmallRandomInstances) {
+  workload::UniformConfig config;
+  config.num_jobs = 9;
+  config.horizon = 12.0;
+  config.value_scale = 1.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const int m = 1 + int(seed % 3);
+    const double alpha = 2.0 + 0.5 * double(seed % 3);
+    const auto inst =
+        workload::uniform_random(config, Machine{m, alpha}, seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+
+    const auto pd = core::run_pd(inst);
+    const auto relaxed = convex::minimize_relaxed(inst, partition);
+    const auto brute = convex::brute_force_opt(inst, partition);
+
+    const double g = pd.dual_lower_bound;
+    const double tol = 1e-5;
+    EXPECT_LE(g, relaxed.objective * (1.0 + tol)) << "seed " << seed;
+    EXPECT_LE(relaxed.objective, brute.cost * (1.0 + tol)) << "seed " << seed;
+    EXPECT_LE(brute.cost, pd.cost.total() * (1.0 + tol)) << "seed " << seed;
+    EXPECT_LE(pd.cost.total(),
+              std::pow(alpha, alpha) * g * (1.0 + tol))
+        << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------- classical energy chain
+
+TEST(EnergyHierarchy, OfflineOptimumIsSmallest) {
+  workload::UniformConfig config;
+  config.num_jobs = 14;
+  config.must_finish = true;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst =
+        workload::uniform_random(config, Machine{1, 3.0}, seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    const double opt = baselines::yds(inst, partition, all_ids(inst)).energy;
+    ASSERT_GT(opt, 0.0);
+
+    const double oa = baselines::run_oa(inst).cost.energy;
+    const double qoa = baselines::run_qoa(inst).cost.energy;
+    const double avr = baselines::run_avr(inst, partition).energy;
+    const double bkp = baselines::run_bkp(inst, partition).energy;
+    const double pd = core::run_pd(inst).cost.energy;
+
+    for (double algo : {oa, qoa, avr, pd})
+      EXPECT_GE(algo, opt * (1.0 - 1e-6)) << "seed " << seed;
+    EXPECT_GE(bkp, opt * (1.0 - 0.02)) << "seed " << seed;  // grid tolerance
+
+    // Known competitive bounds (loose sanity checks, not tight):
+    EXPECT_LE(oa, 27.0 * opt * (1.0 + 1e-9));
+    EXPECT_LE(avr, std::pow(2.0, 3.0 - 1.0) * 3.0 * opt * (1.0 + 1e-9));
+    EXPECT_LE(pd, 27.0 * opt * (1.0 + 1e-9));
+  }
+}
+
+// ------------------------------------------------------------- Figure 3
+
+// PD never redistributes committed work; OA does. After a dense short job
+// arrives mid-stream, OA pushes the earlier job's remaining work into the
+// future, while PD leaves its distribution untouched — so PD ends the
+// horizon with a *slower* final interval.
+TEST(Figure3, PdMoreConservativeThanOaAtHorizonEnd) {
+  // Job 0: window [0,2), work 1, committed by PD at speed 0.5 everywhere.
+  // Job 1: window [0.5,1), work 1.5 (dense burst).
+  std::vector<Job> jobs{Job{-1, 0.0, 2.0, 1.0, util::kInf},
+                        Job{-1, 0.5, 1.0, 1.5, util::kInf}};
+  const auto inst = model::make_instance(Machine{1, 3.0}, jobs);
+
+  const auto pd = core::run_pd(inst);
+  const auto oa = baselines::run_oa(inst);
+
+  auto speed_in = [&](const model::Schedule& s, double t0, double t1) {
+    double work = 0.0;
+    for (int p = 0; p < s.num_processors(); ++p)
+      for (const auto& seg : s.processor(p)) {
+        const double lo = std::max(seg.start, t0);
+        const double hi = std::min(seg.end, t1);
+        if (hi > lo) work += seg.speed * (hi - lo);
+      }
+    return work / (t1 - t0);
+  };
+
+  const double pd_last = speed_in(pd.schedule, 1.0, 2.0);
+  const double oa_last = speed_in(oa.schedule, 1.0, 2.0);
+  // PD keeps job 0 at 0.5 in [1,2); OA reflows job 0's remaining work there.
+  EXPECT_NEAR(pd_last, 0.5, 1e-9);
+  EXPECT_GT(oa_last, pd_last + 0.1);
+
+  // Total costs: both valid schedules of the same jobs.
+  EXPECT_TRUE(model::validate_schedule(pd.schedule, inst).ok);
+  EXPECT_TRUE(model::validate_schedule(oa.schedule, inst).ok);
+}
+
+// -------------------------------------------- rejection-policy equivalence
+
+// Section 3: in the single-processor case PD's rejection rule coincides
+// with CLL's admission threshold. On lone-job instances the two algorithms
+// must therefore make identical decisions for any (v, w, window).
+TEST(RejectionEquivalence, LoneJobDecisionsMatchCll) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double alpha = rng.uniform(1.5, 4.0);
+    const double w = rng.uniform(0.2, 5.0);
+    const double span = rng.uniform(0.2, 4.0);
+    const double v = rng.uniform(0.01, 10.0);
+    const auto inst = model::make_instance(
+        Machine{1, alpha}, {Job{-1, 0.0, span, w, v}});
+    const auto pd = core::run_pd(inst);
+    const auto cll = baselines::run_cll(inst);
+    EXPECT_EQ(pd.accepted[0], cll.admitted[0])
+        << "alpha=" << alpha << " w=" << w << " span=" << span << " v=" << v;
+  }
+}
+
+// ------------------------------------------------------ golden regression
+
+// A fixed tiny instance with hand-computable numbers, pinned exactly so any
+// behavioural drift in the pipeline is caught.
+TEST(Golden, TwoJobSingleProcessor) {
+  // alpha=2, delta=1/2. Job 0: [0,2), w=1 -> accepted at s=0.5.
+  // Job 1: [0,1), w=1, v=0.4.
+  //   Insertion curve in [0,1) with job-0 load 0.5: z(s) = s - 0.5.
+  //   Needs s = 1.5 for full placement; rejection speed
+  //   s_rej = v/(delta*alpha*w) = 0.4 < 1.5 -> rejected.
+  const auto inst = model::make_instance(
+      Machine{1, 2.0},
+      {Job{-1, 0.0, 2.0, 1.0, 100.0}, Job{-1, 0.0, 1.0, 1.0, 0.4}});
+  const auto pd = core::run_pd(inst);
+  EXPECT_TRUE(pd.accepted[0]);
+  EXPECT_FALSE(pd.accepted[1]);
+  EXPECT_NEAR(pd.speed[0], 0.5, 1e-12);
+  EXPECT_NEAR(pd.lambda[0], 0.5 * 1.0 * 2.0 * 0.5, 1e-12);  // delta*w*P'(s)
+  EXPECT_NEAR(pd.lambda[1], 0.4, 1e-12);
+  // Energy: job 0 alone at speed 0.5 for 2 time units, alpha 2: 0.5.
+  EXPECT_NEAR(pd.cost.energy, 0.5, 1e-12);
+  EXPECT_NEAR(pd.cost.total(), 0.9, 1e-12);
+  // Dual value (Lemma 6): with alpha = 2 the exponent 1/(alpha-1) is 1, so
+  // s_hat_j = lambda_j / (alpha w_j): s_hat_0 = 0.25, s_hat_1 = 0.2.
+  // Job 0 wins both unit intervals (m = 1): l(0) = 2, l(1) = 0.
+  const double e0 = 2.0 * 0.25 * 0.25;  // l(0) * s_hat_0^alpha
+  const double g = (1.0 - 2.0) * e0 + (0.5 + 0.4);
+  EXPECT_NEAR(pd.dual_lower_bound, g, 1e-12);
+  EXPECT_NEAR(pd.certified_ratio, 0.9 / g, 1e-9);
+}
+
+TEST(Golden, MultiprocessorDedicatedPoolSplit) {
+  // Three equal jobs on two processors in one interval: no dedicated jobs,
+  // pool speed 1.5; plus a fourth heavy job that takes a dedicated CPU.
+  const auto inst = model::make_instance(
+      Machine{2, 3.0},
+      {Job{-1, 0, 1, 1.0, util::kInf}, Job{-1, 0, 1, 1.0, util::kInf},
+       Job{-1, 0, 1, 4.0, util::kInf}});
+  const auto pd = core::run_pd(inst);
+  for (bool a : pd.accepted) EXPECT_TRUE(a);
+  // Chen split of loads {4,1,1} on m=2: dedicated {4}, pool {1,1} at speed 2.
+  EXPECT_NEAR(pd.cost.energy, 1.0 * 64.0 + 1.0 * 8.0, 1e-9);
+  EXPECT_TRUE(model::validate_schedule(pd.schedule, inst).ok);
+}
+
+// ------------------------------------------------------- OA-PD relation
+
+// With values forced infinite, PD still differs from OA (no redistribution)
+// but both are alpha^alpha-competitive; check both stay within the bound
+// of the offline optimum across a sweep.
+TEST(MustFinishSweep, BothWithinAlphaAlphaOfOptimum) {
+  workload::PoissonConfig config;
+  config.num_jobs = 16;
+  config.must_finish = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const double alpha = 2.0;
+    const auto inst =
+        workload::poisson_heavy_tail(config, Machine{1, alpha}, seed);
+    const auto partition = model::TimePartition::from_jobs(inst.jobs());
+    const double opt = baselines::yds(inst, partition, all_ids(inst)).energy;
+    const double bound = std::pow(alpha, alpha);
+    EXPECT_LE(baselines::run_oa(inst).cost.energy, bound * opt * (1 + 1e-9));
+    EXPECT_LE(core::run_pd(inst).cost.total(), bound * opt * (1 + 1e-9));
+  }
+}
+
+// ------------------------------------------------------------ scale test
+
+TEST(Scale, PdHandlesHundredsOfJobsQuickly) {
+  workload::PoissonConfig config;
+  config.num_jobs = 300;
+  config.value_scale = 1.5;
+  const auto inst =
+      workload::poisson_heavy_tail(config, Machine{4, 3.0}, 77);
+  const auto pd = core::run_pd(inst);
+  EXPECT_GT(pd.dual_lower_bound, 0.0);
+  EXPECT_LE(pd.certified_ratio, 27.0 * (1 + 1e-9));
+  const auto validation = model::validate_schedule(pd.schedule, inst);
+  EXPECT_TRUE(validation.ok) << validation.summary();
+}
+
+}  // namespace
+}  // namespace pss

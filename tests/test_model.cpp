@@ -1,0 +1,272 @@
+// Unit tests for src/model: jobs, power law, time partition (including
+// online refinement), work assignments, schedules and their validator.
+#include <gtest/gtest.h>
+
+#include "model/instance.hpp"
+#include "model/power.hpp"
+#include "model/schedule.hpp"
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+
+namespace pss {
+namespace {
+
+using model::Job;
+using model::Machine;
+
+Job mk(double r, double d, double w, double v) {
+  return Job{.id = -1, .release = r, .deadline = d, .work = w, .value = v};
+}
+
+// --------------------------------------------------------------------- job
+
+TEST(Job, DerivedQuantities) {
+  Job j = mk(1.0, 4.0, 6.0, 10.0);
+  EXPECT_DOUBLE_EQ(j.span(), 3.0);
+  EXPECT_DOUBLE_EQ(j.density(), 2.0);
+  EXPECT_TRUE(j.rejectable());
+  j.value = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(j.rejectable());
+}
+
+// ------------------------------------------------------------------- power
+
+TEST(Power, ValueAndDerivative) {
+  const model::PowerFunction p(3.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.derivative(2.0), 12.0);
+  EXPECT_NEAR(p.derivative_inverse(p.derivative(1.7)), 1.7, 1e-12);
+}
+
+TEST(Power, EnergyForWorkMatchesConstantSpeed) {
+  const model::PowerFunction p(2.5);
+  // 6 units of work in 3 time units => speed 2.
+  EXPECT_DOUBLE_EQ(p.energy_for_work(6.0, 3.0), 3.0 * std::pow(2.0, 2.5));
+}
+
+TEST(Power, RejectsAlphaAtMostOne) {
+  EXPECT_THROW(model::PowerFunction(1.0), std::invalid_argument);
+  EXPECT_THROW(model::PowerFunction(0.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- instance
+
+TEST(Instance, MakeInstanceAssignsIds) {
+  auto inst = model::make_instance(Machine{2, 3.0},
+                                   {mk(0, 1, 1, 5), mk(1, 2, 1, 5)});
+  EXPECT_EQ(inst.job(0).id, 0);
+  EXPECT_EQ(inst.job(1).id, 1);
+  EXPECT_EQ(inst.num_jobs(), 2u);
+}
+
+TEST(Instance, RejectsEmptyWindow) {
+  EXPECT_THROW(model::make_instance(Machine{1, 3.0}, {mk(2, 2, 1, 1)}),
+               std::invalid_argument);
+  EXPECT_THROW(model::make_instance(Machine{1, 3.0}, {mk(3, 2, 1, 1)}),
+               std::invalid_argument);
+}
+
+TEST(Instance, RejectsNonPositiveWorkOrValue) {
+  EXPECT_THROW(model::make_instance(Machine{1, 3.0}, {mk(0, 1, 0, 1)}),
+               std::invalid_argument);
+  EXPECT_THROW(model::make_instance(Machine{1, 3.0}, {mk(0, 1, 1, 0)}),
+               std::invalid_argument);
+}
+
+TEST(Instance, JobsByReleaseSorts) {
+  auto inst = model::make_instance(
+      Machine{1, 2.0}, {mk(5, 6, 1, 1), mk(0, 9, 1, 1), mk(2, 3, 1, 1)});
+  const auto sorted = inst.jobs_by_release();
+  EXPECT_EQ(sorted[0].id, 1);
+  EXPECT_EQ(sorted[1].id, 2);
+  EXPECT_EQ(sorted[2].id, 0);
+}
+
+TEST(Instance, HorizonAndTotals) {
+  auto inst = model::make_instance(
+      Machine{1, 2.0}, {mk(1, 6, 2, 3), mk(0, 4, 3, 7)});
+  EXPECT_DOUBLE_EQ(inst.horizon_start(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.horizon_end(), 6.0);
+  EXPECT_DOUBLE_EQ(inst.total_work(), 5.0);
+  EXPECT_DOUBLE_EQ(inst.total_finite_value(), 10.0);
+}
+
+// ----------------------------------------------------------- time partition
+
+TEST(TimePartition, FromJobsDedupesBoundaries) {
+  const std::vector<Job> jobs{mk(0, 2, 1, 1), mk(2, 4, 1, 1), mk(0, 4, 1, 1)};
+  const auto p = model::TimePartition::from_jobs(jobs);
+  EXPECT_EQ(p.num_intervals(), 2u);
+  EXPECT_DOUBLE_EQ(p.length(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.length(1), 2.0);
+}
+
+TEST(TimePartition, JobRangeIsContiguous) {
+  const std::vector<Job> jobs{mk(0, 2, 1, 1), mk(1, 4, 1, 1), mk(2, 3, 1, 1)};
+  const auto p = model::TimePartition::from_jobs(jobs);
+  // Boundaries: 0,1,2,3,4 -> 4 intervals.
+  ASSERT_EQ(p.num_intervals(), 4u);
+  const auto r = p.job_range(jobs[1]);
+  EXPECT_EQ(r.first, 1u);
+  EXPECT_EQ(r.last, 4u);
+  EXPECT_TRUE(r.contains(2));
+  EXPECT_FALSE(r.contains(0));
+}
+
+TEST(TimePartition, IntervalOfLooksUpCorrectly) {
+  const auto p = model::TimePartition::from_boundaries({0.0, 1.0, 3.0, 7.0});
+  EXPECT_EQ(p.interval_of(0.0), 0u);
+  EXPECT_EQ(p.interval_of(0.99), 0u);
+  EXPECT_EQ(p.interval_of(1.0), 1u);
+  EXPECT_EQ(p.interval_of(6.5), 2u);
+  EXPECT_THROW(p.interval_of(7.0), std::invalid_argument);
+}
+
+TEST(TimePartition, InsertBoundarySplitsInterior) {
+  auto p = model::TimePartition::from_boundaries({0.0, 4.0});
+  const std::size_t split = p.insert_boundary(1.0);
+  EXPECT_EQ(split, 0u);
+  EXPECT_EQ(p.num_intervals(), 2u);
+  EXPECT_DOUBLE_EQ(p.length(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.length(1), 3.0);
+}
+
+TEST(TimePartition, InsertBoundaryNoOpOnExisting) {
+  auto p = model::TimePartition::from_boundaries({0.0, 4.0});
+  EXPECT_EQ(p.insert_boundary(0.0), std::size_t(-1));
+  EXPECT_EQ(p.num_intervals(), 1u);
+}
+
+TEST(TimePartition, InsertBoundaryExtendsHorizon) {
+  auto p = model::TimePartition::from_boundaries({1.0, 2.0});
+  EXPECT_EQ(p.insert_boundary(5.0), std::size_t(-1));
+  EXPECT_EQ(p.insert_boundary(0.0), std::size_t(-1));
+  EXPECT_EQ(p.num_intervals(), 3u);
+  EXPECT_DOUBLE_EQ(p.start(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.end(2), 5.0);
+}
+
+TEST(TimePartition, RangeRequiresExactBoundaries) {
+  const auto p = model::TimePartition::from_boundaries({0.0, 1.0, 2.0});
+  EXPECT_THROW(p.range(0.5, 2.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- work assignment
+
+TEST(WorkAssignment, SetGetRemove) {
+  model::WorkAssignment a(3);
+  a.set_load(0, 7, 2.0);
+  a.set_load(1, 7, 1.0);
+  a.set_load(1, 8, 4.0);
+  EXPECT_DOUBLE_EQ(a.load_of(0, 7), 2.0);
+  EXPECT_DOUBLE_EQ(a.load_of(2, 7), 0.0);
+  EXPECT_DOUBLE_EQ(a.total_of(7), 3.0);
+  EXPECT_DOUBLE_EQ(a.interval_total(1), 5.0);
+  EXPECT_DOUBLE_EQ(a.remove_job(7), 3.0);
+  EXPECT_DOUBLE_EQ(a.total_of(7), 0.0);
+  EXPECT_DOUBLE_EQ(a.total_of(8), 4.0);
+}
+
+TEST(WorkAssignment, SetZeroErasesEntry) {
+  model::WorkAssignment a(1);
+  a.set_load(0, 1, 2.0);
+  a.set_load(0, 1, 0.0);
+  EXPECT_TRUE(a.loads(0).empty());
+}
+
+TEST(WorkAssignment, SplitIntervalProportional) {
+  model::WorkAssignment a(2);
+  a.set_load(0, 1, 4.0);
+  a.set_load(1, 2, 6.0);
+  a.split_interval(0, 0.25);
+  ASSERT_EQ(a.num_intervals(), 3u);
+  EXPECT_DOUBLE_EQ(a.load_of(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.load_of(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.load_of(2, 2), 6.0);  // shifted up
+  EXPECT_DOUBLE_EQ(a.total_of(1), 4.0);    // mass preserved
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(Schedule, EnergyIntegratesSegments) {
+  model::Schedule s(2);
+  s.add_segment(0, {0.0, 2.0, 3.0, 0});
+  s.add_segment(1, {1.0, 2.0, 1.0, 1});
+  // alpha=2: 2*9 + 1*1 = 19.
+  EXPECT_DOUBLE_EQ(s.energy(2.0), 19.0);
+  EXPECT_DOUBLE_EQ(s.work_done(0), 6.0);
+  EXPECT_DOUBLE_EQ(s.work_done(1), 1.0);
+}
+
+TEST(Schedule, NormalizeMergesAdjacentEqualSegments) {
+  model::Schedule s(1);
+  s.add_segment(0, {1.0, 2.0, 1.5, 0});
+  s.add_segment(0, {0.0, 1.0, 1.5, 0});
+  s.normalize();
+  ASSERT_EQ(s.processor(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(s.processor(0)[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.processor(0)[0].end, 2.0);
+}
+
+TEST(ScheduleValidate, AcceptsFeasibleSchedule) {
+  auto inst = model::make_instance(Machine{1, 3.0}, {mk(0, 2, 2, 5)});
+  model::Schedule s(1);
+  s.add_segment(0, {0.0, 2.0, 1.0, 0});
+  EXPECT_TRUE(model::validate_schedule(s, inst).ok);
+}
+
+TEST(ScheduleValidate, CatchesUnfinishedJob) {
+  auto inst = model::make_instance(Machine{1, 3.0}, {mk(0, 2, 2, 5)});
+  model::Schedule s(1);
+  s.add_segment(0, {0.0, 1.0, 1.0, 0});  // only half the work
+  const auto v = model::validate_schedule(s, inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.summary().find("unfinished"), std::string::npos);
+}
+
+TEST(ScheduleValidate, CatchesWindowViolation) {
+  auto inst = model::make_instance(Machine{1, 3.0}, {mk(1, 2, 1, 5)});
+  model::Schedule s(1);
+  s.add_segment(0, {0.0, 1.0, 1.0, 0});  // before release
+  EXPECT_FALSE(model::validate_schedule(s, inst).ok);
+}
+
+TEST(ScheduleValidate, CatchesParallelSelfExecution) {
+  auto inst = model::make_instance(Machine{2, 3.0}, {mk(0, 2, 4, 5)});
+  model::Schedule s(2);
+  s.add_segment(0, {0.0, 2.0, 1.0, 0});
+  s.add_segment(1, {0.0, 2.0, 1.0, 0});  // same job, same time, other CPU
+  EXPECT_FALSE(model::validate_schedule(s, inst).ok);
+}
+
+TEST(ScheduleValidate, CatchesProcessorOverlap) {
+  auto inst = model::make_instance(Machine{1, 3.0},
+                                   {mk(0, 2, 1, 5), mk(0, 2, 1, 5)});
+  model::Schedule s(1);
+  s.add_segment(0, {0.0, 1.5, 1.0, 0});
+  s.add_segment(0, {1.0, 2.0, 1.0, 1});  // overlaps previous segment
+  EXPECT_FALSE(model::validate_schedule(s, inst).ok);
+}
+
+TEST(ScheduleValidate, RejectedJobNeedsNoWork) {
+  auto inst = model::make_instance(Machine{1, 3.0}, {mk(0, 2, 2, 5)});
+  model::Schedule s(1);
+  s.mark_rejected(0);
+  EXPECT_TRUE(model::validate_schedule(s, inst).ok);
+  const auto cost = s.cost(inst);
+  EXPECT_DOUBLE_EQ(cost.lost_value, 5.0);
+  EXPECT_DOUBLE_EQ(cost.energy, 0.0);
+}
+
+TEST(ScheduleValidate, MustFinishJobCannotBeRejected) {
+  auto inst = model::make_instance(
+      Machine{1, 3.0},
+      {Job{.id = -1, .release = 0, .deadline = 2, .work = 2,
+           .value = std::numeric_limits<double>::infinity()}});
+  model::Schedule s(1);
+  s.mark_rejected(0);
+  EXPECT_FALSE(model::validate_schedule(s, inst).ok);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,82 @@
+// Tests for src/sim: metric aggregation, parallel seed sweeps, and the
+// cross-algorithm comparison helper.
+#include <gtest/gtest.h>
+
+#include "sim/compare.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+TEST(Aggregate, BasicStatistics) {
+  sim::Aggregate a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Aggregate, PercentileInterpolates) {
+  sim::Aggregate a;
+  for (double x : {0.0, 10.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 10.0);
+}
+
+TEST(Aggregate, EmptyThrows) {
+  sim::Aggregate a;
+  EXPECT_THROW(a.mean(), std::invalid_argument);
+  EXPECT_THROW(a.percentile(50), std::invalid_argument);
+}
+
+TEST(SweepSeeds, DeterministicAndComplete) {
+  const auto agg =
+      sim::sweep_seeds(32, [](std::uint64_t seed) { return double(seed); }, 5);
+  EXPECT_EQ(agg.count(), 32u);
+  EXPECT_DOUBLE_EQ(agg.min(), 5.0);
+  EXPECT_DOUBLE_EQ(agg.max(), 36.0);
+}
+
+TEST(SweepSeeds, PropagatesErrors) {
+  EXPECT_THROW(sim::sweep_seeds(8,
+                                [](std::uint64_t seed) -> double {
+                                  if (seed == 3) throw std::runtime_error("x");
+                                  return 0.0;
+                                }),
+               std::runtime_error);
+}
+
+TEST(Compare, RunsAllAlgorithmsValid) {
+  workload::UniformConfig config;
+  config.num_jobs = 15;
+  config.value_scale = 1.5;
+  const auto inst =
+      workload::uniform_random(config, model::Machine{1, 3.0}, 21);
+  const auto rows = sim::compare_algorithms(inst);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.valid) << row.name;
+    EXPECT_GT(row.total, 0.0) << row.name;
+    EXPECT_EQ(row.accepted + row.rejected, 15) << row.name;
+  }
+  EXPECT_EQ(rows[0].name, "PD");
+  EXPECT_GT(rows[0].certified_ratio, 0.0);
+  EXPECT_LE(rows[0].certified_ratio, 27.0 * (1 + 1e-9));
+}
+
+TEST(Compare, MultiprocessorInstances) {
+  workload::UniformConfig config;
+  config.num_jobs = 12;
+  const auto inst =
+      workload::uniform_random(config, model::Machine{4, 2.5}, 23);
+  const auto rows = sim::compare_algorithms(inst);
+  for (const auto& row : rows) EXPECT_TRUE(row.valid) << row.name;
+}
+
+}  // namespace
+}  // namespace pss

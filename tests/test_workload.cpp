@@ -1,0 +1,148 @@
+// Tests for src/workload: generator determinism, constraint satisfaction,
+// and the exact shape of the Theorem-3 adversarial instance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using model::Machine;
+
+TEST(Workload, UniformDeterministicPerSeed) {
+  workload::UniformConfig config;
+  const auto a = workload::uniform_random(config, Machine{1, 3.0}, 42);
+  const auto b = workload::uniform_random(config, Machine{1, 3.0}, 42);
+  const auto c = workload::uniform_random(config, Machine{1, 3.0}, 43);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_jobs(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].release, b.jobs()[i].release);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].work, b.jobs()[i].work);
+    if (a.jobs()[i].release != c.jobs()[i].release) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // different seed, different instance
+}
+
+TEST(Workload, UniformRespectsConfigRanges) {
+  workload::UniformConfig config;
+  config.num_jobs = 200;
+  config.horizon = 50.0;
+  config.min_span = 2.0;
+  config.max_span = 3.0;
+  config.min_work = 0.5;
+  config.max_work = 0.9;
+  const auto inst = workload::uniform_random(config, Machine{2, 3.0}, 1);
+  for (const auto& j : inst.jobs()) {
+    EXPECT_GE(j.release, 0.0);
+    EXPECT_LT(j.release, 50.0);
+    EXPECT_GE(j.span(), 2.0 - 1e-12);
+    EXPECT_LE(j.span(), 3.0 + 1e-12);
+    EXPECT_GE(j.work, 0.5);
+    EXPECT_LE(j.work, 0.9);
+    EXPECT_TRUE(j.rejectable());
+    EXPECT_GT(j.value, 0.0);
+  }
+}
+
+TEST(Workload, MustFinishFlagMakesValuesInfinite) {
+  workload::UniformConfig config;
+  config.must_finish = true;
+  const auto inst = workload::uniform_random(config, Machine{1, 3.0}, 2);
+  for (const auto& j : inst.jobs()) EXPECT_FALSE(j.rejectable());
+}
+
+TEST(Workload, PoissonArrivalsIncrease) {
+  workload::PoissonConfig config;
+  config.num_jobs = 100;
+  const auto inst = workload::poisson_heavy_tail(config, Machine{1, 3.0}, 5);
+  for (std::size_t i = 1; i < inst.num_jobs(); ++i)
+    EXPECT_GE(inst.jobs()[i].release, inst.jobs()[i - 1].release);
+}
+
+TEST(Workload, ParetoWorkloadsRespectScale) {
+  workload::PoissonConfig config;
+  config.num_jobs = 300;
+  config.pareto_scale = 0.7;
+  const auto inst = workload::poisson_heavy_tail(config, Machine{1, 3.0}, 6);
+  double max_work = 0.0;
+  for (const auto& j : inst.jobs()) {
+    EXPECT_GE(j.work, 0.7);
+    max_work = std::max(max_work, j.work);
+  }
+  EXPECT_GT(max_work, 2.0);  // heavy tail should produce outliers
+}
+
+TEST(Workload, TightLaxityWindowsMatchTargetSpeed) {
+  workload::TightConfig config;
+  config.speed_target = 2.5;
+  const auto inst = workload::tight_laxity(config, Machine{1, 3.0}, 7);
+  for (const auto& j : inst.jobs())
+    EXPECT_NEAR(j.density(), 2.5, 1e-9);
+}
+
+TEST(Workload, AdversarialTheorem3ExactShape) {
+  const int n = 16;
+  const double alpha = 2.0;
+  const auto inst =
+      workload::adversarial_theorem3(n, Machine{1, alpha}, 1e6);
+  ASSERT_EQ(inst.num_jobs(), std::size_t(n));
+  for (int j = 1; j <= n; ++j) {
+    const auto& job = inst.jobs()[std::size_t(j - 1)];
+    EXPECT_DOUBLE_EQ(job.release, double(j - 1));
+    EXPECT_DOUBLE_EQ(job.deadline, double(n));
+    EXPECT_NEAR(job.work, std::pow(double(n - j + 1), -1.0 / alpha), 1e-12);
+    EXPECT_TRUE(job.rejectable());
+  }
+}
+
+TEST(Workload, AdversarialMustFinishVariant) {
+  const auto inst =
+      workload::adversarial_theorem3(8, Machine{1, 3.0}, 0.0);
+  for (const auto& j : inst.jobs()) EXPECT_FALSE(j.rejectable());
+}
+
+TEST(Workload, DatacenterDayProducesRequestedJobs) {
+  workload::DatacenterConfig config;
+  config.num_jobs = 150;
+  const auto inst = workload::datacenter_day(config, Machine{4, 3.0}, 11);
+  EXPECT_EQ(inst.num_jobs(), 150u);
+  for (const auto& j : inst.jobs()) {
+    EXPECT_GE(j.release, 0.0);
+    EXPECT_LE(j.release, config.hours);
+    EXPECT_GT(j.span(), 0.0);
+  }
+}
+
+TEST(Workload, DatacenterDiurnalShapeHasPeak) {
+  workload::DatacenterConfig config;
+  config.num_jobs = 2000;
+  config.peak_rate_factor = 6.0;
+  const auto inst = workload::datacenter_day(config, Machine{1, 3.0}, 13);
+  // Mid-day (hours 9-15) should see clearly more arrivals than night (0-6).
+  int midday = 0, night = 0;
+  for (const auto& j : inst.jobs()) {
+    if (j.release >= 9.0 && j.release < 15.0) ++midday;
+    if (j.release < 6.0) ++night;
+  }
+  EXPECT_GT(midday, night * 2);
+}
+
+TEST(Workload, EnergyFairValueFormula) {
+  model::Job j{-1, 0.0, 2.0, 4.0, 1.0};
+  // w^alpha / span^(alpha-1) with alpha=3: 64 / 4 = 16.
+  EXPECT_DOUBLE_EQ(workload::energy_fair_value(j, 3.0), 16.0);
+}
+
+TEST(Workload, GeneratorsRejectNonPositiveCounts) {
+  workload::UniformConfig config;
+  config.num_jobs = 0;
+  EXPECT_THROW(workload::uniform_random(config, Machine{1, 3.0}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pss
