@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the ROADMAP verify command, run from a clean build tree,
+# with warnings promoted to errors so a warning regression fails the job.
+#
+#   ci/run_tier1.sh [build-dir]
+#
+# Exits nonzero on any configure/build error, any compiler warning, or any
+# ctest failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+rm -rf "${BUILD_DIR}"
+
+# Tier-1, verbatim (plus the clean-tree dir and the warning gate):
+cmake -B "${BUILD_DIR}" -S . -DPSS_WERROR=ON
+cmake --build "${BUILD_DIR}" -j
+cd "${BUILD_DIR}" && ctest --output-on-failure -j
+
+echo "tier-1: OK"

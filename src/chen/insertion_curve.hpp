@@ -5,7 +5,7 @@
 // This function is the inverse view of Proposition 1(b): the marginal energy
 // cost of the new job's load is P'(s_j), so raising its dual variable
 // corresponds to raising s, and z_k(s) tells how much primal mass that buys.
-// Closed form (derivation in DESIGN.md Section 4): with
+// Closed form (from the dedicated/pool split of interval_schedule.hpp): with
 //   D(s) = { i : u_i > s*l },  d = |D(s)|,  R(s) = sum of the other loads,
 //   z_k(s) = max(0, min( (m - d(s))*l*s - R(s),  s*l ))
 // The min's first branch is "the job joins the pool at level s" (raising the

@@ -1,5 +1,6 @@
 #include "convex/brute_force.hpp"
 
+#include <cstdint>
 #include <mutex>
 
 #include "util/assert.hpp"

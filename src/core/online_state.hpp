@@ -5,6 +5,8 @@
 // scheduler and the fractional variant.
 #pragma once
 
+#include <cstddef>
+
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
 #include "util/assert.hpp"

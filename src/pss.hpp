@@ -43,3 +43,10 @@
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "workload/generators.hpp"
+
+// Utilities used throughout the public API (seeded RNG, result tables,
+// piecewise-linear curves, the parallel-for used by experiment sweeps).
+#include "util/parallel.hpp"
+#include "util/piecewise_linear.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"

@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <vector>

@@ -43,7 +43,7 @@ TEST(SpeedLevels, BracketCases) {
   EXPECT_DOUBLE_EQ(levels.bracket(2.0).hi, 2.0);
   EXPECT_DOUBLE_EQ(levels.bracket(3.0).lo, 2.0);   // interior
   EXPECT_DOUBLE_EQ(levels.bracket(3.0).hi, 4.0);
-  EXPECT_THROW(levels.bracket(5.0), std::invalid_argument);
+  EXPECT_THROW((void)levels.bracket(5.0), std::invalid_argument);
 }
 
 TEST(SpeedLevels, RejectsBadConstruction) {

@@ -57,7 +57,7 @@ TEST(InstanceIo, CommentsAndBlankLinesIgnored) {
 TEST(InstanceIo, ReportsLineNumbersOnErrors) {
   std::stringstream missing_field("machine 1 3\njob 0 1 1\n");
   try {
-    io::read_instance(missing_field);
+    (void)io::read_instance(missing_field);
     FAIL() << "expected parse error";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);

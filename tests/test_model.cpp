@@ -119,7 +119,7 @@ TEST(TimePartition, IntervalOfLooksUpCorrectly) {
   EXPECT_EQ(p.interval_of(0.99), 0u);
   EXPECT_EQ(p.interval_of(1.0), 1u);
   EXPECT_EQ(p.interval_of(6.5), 2u);
-  EXPECT_THROW(p.interval_of(7.0), std::invalid_argument);
+  EXPECT_THROW((void)p.interval_of(7.0), std::invalid_argument);
 }
 
 TEST(TimePartition, InsertBoundarySplitsInterior) {
@@ -148,7 +148,7 @@ TEST(TimePartition, InsertBoundaryExtendsHorizon) {
 
 TEST(TimePartition, RangeRequiresExactBoundaries) {
   const auto p = model::TimePartition::from_boundaries({0.0, 1.0, 2.0});
-  EXPECT_THROW(p.range(0.5, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)p.range(0.5, 2.0), std::invalid_argument);
 }
 
 // --------------------------------------------------------- work assignment

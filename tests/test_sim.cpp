@@ -30,8 +30,8 @@ TEST(Aggregate, PercentileInterpolates) {
 
 TEST(Aggregate, EmptyThrows) {
   sim::Aggregate a;
-  EXPECT_THROW(a.mean(), std::invalid_argument);
-  EXPECT_THROW(a.percentile(50), std::invalid_argument);
+  EXPECT_THROW((void)a.mean(), std::invalid_argument);
+  EXPECT_THROW((void)a.percentile(50), std::invalid_argument);
 }
 
 TEST(SweepSeeds, DeterministicAndComplete) {

@@ -1,0 +1,75 @@
+// Smoke test for the umbrella header: includes src/pss.hpp and instantiates
+// at least one object from every module, so the umbrella can never silently
+// rot when headers move or signatures change.
+#include "pss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pss {
+namespace {
+
+TEST(Umbrella, ModelTypesInstantiate) {
+  model::Job job{0, 0.0, 1.0, 1.0, 5.0};
+  EXPECT_TRUE(job.rejectable());
+
+  const model::PowerFunction power(3.0);
+  EXPECT_DOUBLE_EQ(power(2.0), 8.0);
+
+  const auto inst =
+      model::make_instance(model::Machine{2, 3.0}, {std::move(job)});
+  EXPECT_EQ(inst.num_jobs(), 1u);
+
+  const auto partition = model::TimePartition::from_boundaries({0.0, 1.0});
+  EXPECT_EQ(partition.num_intervals(), 1u);
+}
+
+TEST(Umbrella, ChenTypesInstantiate) {
+  const chen::IntervalSolution sol({model::Load{0, 1.0}}, 1, 1.0);
+  EXPECT_EQ(sol.num_processors(), 1);
+  EXPECT_DOUBLE_EQ(sol.speed_of(0), 1.0);
+}
+
+TEST(Umbrella, ConvexTypesInstantiate) {
+  const convex::SolverOptions options;
+  EXPECT_GT(options.max_cycles, 0);
+}
+
+TEST(Umbrella, CoreTypesInstantiate) {
+  const core::SpeedLevels levels({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(levels.min_level(), 1.0);
+
+  core::PdScheduler scheduler(model::Machine{1, 3.0});
+  const auto decision =
+      scheduler.on_arrival(model::Job{0, 0.0, 1.0, 1.0, 100.0});
+  EXPECT_TRUE(decision.accepted);
+}
+
+TEST(Umbrella, BaselineTypesInstantiate) {
+  const baselines::ReplanOptions replan;
+  const baselines::BkpOptions bkp;
+  (void)replan;
+  (void)bkp;
+}
+
+TEST(Umbrella, SimIoWorkloadUtilTypesInstantiate) {
+  sim::Aggregate aggregate;
+  aggregate.add(1.0);
+  EXPECT_EQ(aggregate.count(), 1u);
+
+  const io::GanttOptions gantt;
+  (void)gantt;
+
+  const workload::UniformConfig uniform;
+  EXPECT_GT(uniform.num_jobs, 0);
+
+  util::Rng rng(42);
+  const double x = rng.uniform(0.0, 1.0);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LT(x, 1.0);
+
+  util::Table table({"column"});
+  table.add_row({1.0});
+}
+
+}  // namespace
+}  // namespace pss

@@ -141,8 +141,9 @@ TEST(PiecewiseLinear, InverseRoundTripsRandomized) {
       EXPECT_GE(f.eval(*inv) + 1e-9, target);
       // Minimality: slightly left of the inverse must be below target
       // (unless the inverse is at the domain start).
-      if (*inv > 1e-9)
+      if (*inv > 1e-9) {
         EXPECT_LT(f.eval(*inv - 1e-6) - 1e-9, target);
+      }
     }
   }
 }
