@@ -9,8 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
@@ -32,6 +38,133 @@ inline void emit(const util::Table& table, const std::string& csv_name) {
 }
 
 inline double alpha_to_alpha(double alpha) { return std::pow(alpha, alpha); }
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter for machine-readable bench outputs (BENCH_*.json next
+// to the CSV mirrors). Supports the subset the drivers need: objects with
+// insertion-ordered keys, arrays, numbers, strings, booleans. Non-finite
+// numbers serialize as null so the output always parses.
+// ---------------------------------------------------------------------------
+class JsonValue {
+ public:
+  [[nodiscard]] static JsonValue object() { return JsonValue(Kind::kObject); }
+  [[nodiscard]] static JsonValue array() { return JsonValue(Kind::kArray); }
+  [[nodiscard]] static JsonValue number(double v) {
+    JsonValue j(Kind::kNumber);
+    j.number_ = v;
+    return j;
+  }
+  [[nodiscard]] static JsonValue integer(long long v) {
+    JsonValue j(Kind::kInteger);
+    j.integer_ = v;
+    return j;
+  }
+  [[nodiscard]] static JsonValue string(std::string v) {
+    JsonValue j(Kind::kString);
+    j.string_ = std::move(v);
+    return j;
+  }
+  [[nodiscard]] static JsonValue boolean(bool v) {
+    JsonValue j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  JsonValue& set(const std::string& key, JsonValue value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  JsonValue& push(JsonValue value) {
+    members_.emplace_back(std::string(), std::move(value));
+    return *this;
+  }
+
+  void write(std::ostream& os, int indent = 0) const {
+    const std::string pad(std::size_t(indent) * 2, ' ');
+    const std::string inner(std::size_t(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kObject:
+      case Kind::kArray: {
+        const bool is_object = kind_ == Kind::kObject;
+        os << (is_object ? '{' : '[');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << (i == 0 ? "\n" : ",\n") << inner;
+          if (is_object) os << quoted(members_[i].first) << ": ";
+          members_[i].second.write(os, indent + 1);
+        }
+        if (!members_.empty()) os << '\n' << pad;
+        os << (is_object ? '}' : ']');
+        break;
+      }
+      case Kind::kNumber:
+        if (std::isfinite(number_)) {
+          std::ostringstream tmp;
+          tmp.precision(17);
+          tmp << number_;
+          os << tmp.str();
+        } else {
+          os << "null";
+        }
+        break;
+      case Kind::kInteger:
+        os << integer_;
+        break;
+      case Kind::kString:
+        os << quoted(string_);
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+    }
+  }
+
+  [[nodiscard]] std::string dump() const {
+    std::ostringstream os;
+    write(os);
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kString, kBool };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  [[nodiscard]] static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  Kind kind_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object/array
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  bool bool_ = false;
+};
+
+/// Writes `root` to sim::result_dir()/name and echoes the path.
+inline void emit_json(const JsonValue& root, const std::string& name) {
+  const std::string path = sim::result_dir() + "/" + name;
+  std::ofstream out(path);
+  root.write(out);
+  out << "\n";
+  std::cout << "(json: " << path << ")\n";
+}
 
 /// Standard tail: parse benchmark flags and run the registered timings.
 inline int run_benchmarks(int argc, char** argv) {

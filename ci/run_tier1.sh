@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the ROADMAP verify command, run from a clean build tree,
-# with warnings promoted to errors so a warning regression fails the job.
+# with warnings promoted to errors so a warning regression fails the job,
+# followed by a perf-smoke of the throughput driver (small instance; checks
+# the engines agree and BENCH_throughput.json parses).
 #
 #   ci/run_tier1.sh [build-dir]
 #
-# Exits nonzero on any configure/build error, any compiler warning, or any
-# ctest failure.
+# Exits nonzero on any configure/build error, any compiler warning, any
+# ctest failure, a perf-smoke engine mismatch, or malformed bench JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,5 +19,16 @@ rm -rf "${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S . -DPSS_WERROR=ON
 cmake --build "${BUILD_DIR}" -j
 cd "${BUILD_DIR}" && ctest --output-on-failure -j
+
+# Perf-smoke: tiny streaming run of bench_throughput. The driver itself
+# exits nonzero if the cached and reference engines ever disagree.
+PSS_THROUGHPUT_JOBS=400 PSS_THROUGHPUT_SCALE=2000 PSS_RESULT_DIR=bench_results \
+  ./bench_throughput --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_throughput.json > /dev/null
+else
+  grep -q '"decisions_match": true' bench_results/BENCH_throughput.json
+fi
+echo "perf-smoke: OK (${BUILD_DIR}/bench_results/BENCH_throughput.json)"
 
 echo "tier-1: OK"

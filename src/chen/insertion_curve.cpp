@@ -114,4 +114,14 @@ util::PiecewiseLinear insertion_curve(std::vector<double> other_loads,
   return util::PiecewiseLinear::from_knots(std::move(knots), length);
 }
 
+util::PiecewiseLinear insertion_curve(const std::vector<model::Load>& loads,
+                                      model::JobId ignore_job,
+                                      int num_processors, double length) {
+  std::vector<double> amounts;
+  amounts.reserve(loads.size());
+  for (const model::Load& l : loads)
+    if (l.job != ignore_job) amounts.push_back(l.amount);
+  return insertion_curve(std::move(amounts), num_processors, length);
+}
+
 }  // namespace pss::chen

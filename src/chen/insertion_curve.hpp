@@ -33,4 +33,12 @@ namespace pss::chen {
 [[nodiscard]] util::PiecewiseLinear insertion_curve(
     std::vector<double> other_loads, int num_processors, double length);
 
+/// Same curve built straight from an interval's committed loads, skipping
+/// `ignore_job` (pass -1 to keep every load). Produces the identical curve
+/// the vector overload builds from the extracted amounts; this is the entry
+/// point the scheduler's per-interval curve cache rebuilds through.
+[[nodiscard]] util::PiecewiseLinear insertion_curve(
+    const std::vector<model::Load>& loads, model::JobId ignore_job,
+    int num_processors, double length);
+
 }  // namespace pss::chen

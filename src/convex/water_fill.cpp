@@ -19,6 +19,37 @@ std::vector<double> other_loads(const model::WorkAssignment& assignment,
   return loads;
 }
 
+// Shared placement tail of both water-fill entry points. The reference and
+// incremental paths must stay operation-for-operation identical here (dust
+// cutoff, largest-share tie-break, residue absorption) — that is what the
+// differential suite's bitwise equality rests on — so there is exactly one
+// copy. `curve_at(i)` returns the i-th window interval's insertion curve.
+template <typename CurveAt>
+Placement build_placement(double work, double level, std::size_t num_curves,
+                          const CurveAt& curve_at) {
+  Placement placement;
+  placement.speed = level;
+  placement.amounts.resize(num_curves, 0.0);
+  double placed = 0.0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < num_curves; ++i) {
+    double amount = curve_at(i).eval(level);
+    if (amount < 1e-12 * work) amount = 0.0;  // drop floating-point dust
+    placement.amounts[i] = amount;
+    placed += amount;
+    if (placement.amounts[i] > placement.amounts[largest]) largest = i;
+  }
+  // Absorb the inversion's floating-point residue into the largest share so
+  // the job's committed total is exactly its workload.
+  const double residue = work - placed;
+  PSS_CHECK(std::abs(residue) <= 1e-7 * std::max(1.0, work),
+            "water-filling residue too large");
+  placement.amounts[largest] += residue;
+  PSS_CHECK(placement.amounts[largest] >= 0.0, "negative corrected amount");
+  placement.placed = work;
+  return placement;
+}
+
 }  // namespace
 
 std::optional<Placement> water_fill(const model::WorkAssignment& assignment,
@@ -49,28 +80,32 @@ std::optional<Placement> water_fill(const model::WorkAssignment& assignment,
             "unbounded-speed window must absorb any workload");
   PSS_CHECK(!std::isfinite(max_speed) || *level <= max_speed * (1.0 + 1e-9),
             "water level exceeded the verified cap");
+  return build_placement(work, *level, curves.size(),
+                         [&](std::size_t i) -> const util::PiecewiseLinear& {
+                           return curves[i];
+                         });
+}
 
-  Placement placement;
-  placement.speed = *level;
-  placement.amounts.resize(window.size(), 0.0);
-  double placed = 0.0;
-  std::size_t largest = 0;
-  for (std::size_t i = 0; i < curves.size(); ++i) {
-    double amount = curves[i].eval(*level);
-    if (amount < 1e-12 * work) amount = 0.0;  // drop floating-point dust
-    placement.amounts[i] = amount;
-    placed += amount;
-    if (placement.amounts[i] > placement.amounts[largest]) largest = i;
-  }
-  // Absorb the inversion's floating-point residue into the largest share so
-  // the job's committed total is exactly its workload.
-  const double residue = work - placed;
-  PSS_CHECK(std::abs(residue) <= 1e-7 * std::max(1.0, work),
-            "water-filling residue too large");
-  placement.amounts[largest] += residue;
-  PSS_CHECK(placement.amounts[largest] >= 0.0, "negative corrected amount");
-  placement.placed = work;
-  return placement;
+std::optional<Placement> water_fill_over_curves(
+    std::span<const util::PiecewiseLinear* const> curves, double work,
+    double max_speed) {
+  PSS_REQUIRE(!curves.empty(), "empty placement window");
+  PSS_REQUIRE(work > 0.0, "work must be positive");
+  PSS_REQUIRE(max_speed > 0.0, "max speed must be positive");
+
+  const util::LazyLinearSum total(curves);
+
+  if (std::isfinite(max_speed) && total.eval(max_speed) < work)
+    return std::nullopt;
+  const std::optional<double> level = total.first_at_least(work);
+  PSS_CHECK(level.has_value(),
+            "unbounded-speed window must absorb any workload");
+  PSS_CHECK(!std::isfinite(max_speed) || *level <= max_speed * (1.0 + 1e-9),
+            "water level exceeded the verified cap");
+  return build_placement(work, *level, curves.size(),
+                         [&](std::size_t i) -> const util::PiecewiseLinear& {
+                           return *curves[i];
+                         });
 }
 
 double window_capacity(const model::WorkAssignment& assignment,

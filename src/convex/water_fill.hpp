@@ -15,10 +15,12 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
+#include "util/piecewise_linear.hpp"
 
 namespace pss::convex {
 
@@ -39,6 +41,16 @@ struct Placement {
     const model::TimePartition& partition, int num_processors,
     model::IntervalRange window, double work, double max_speed,
     model::JobId ignore_job = -1);
+
+/// Incremental variant of water_fill over pre-built per-interval insertion
+/// curves (one per window interval, e.g. from core::CurveCache). Inverts
+/// Z(s) through a util::LazyLinearSum view instead of materializing the
+/// summed curve, which drops the per-arrival cost from O(N*W) to
+/// O(N log N) for N total knots over W intervals. Decision-identical to
+/// the stateless reference above (see tests/test_differential.cpp).
+[[nodiscard]] std::optional<Placement> water_fill_over_curves(
+    std::span<const util::PiecewiseLinear* const> curves, double work,
+    double max_speed);
 
 /// Total work the window can absorb at own-speed exactly `speed`
 /// (the Z(s) above); used by tests and the rejection rule.

@@ -1,0 +1,70 @@
+#include "core/curve_cache.hpp"
+
+#include "chen/insertion_curve.hpp"
+#include "util/assert.hpp"
+
+namespace pss::core {
+
+void CurveCache::reset(std::size_t num_intervals) {
+  entries_.assign(num_intervals, Entry{});
+  scratch_.clear();
+  out_.clear();
+  stats_ = Stats{};
+}
+
+void CurveCache::on_split(std::size_t k) {
+  PSS_REQUIRE(k < entries_.size(), "split index out of range");
+  // Both halves changed length and loads; start them unbuilt.
+  entries_[k] = Entry{};
+  entries_.insert(entries_.begin() + std::ptrdiff_t(k) + 1, Entry{});
+}
+
+void CurveCache::on_append() { entries_.emplace_back(); }
+
+void CurveCache::on_prepend() {
+  entries_.insert(entries_.begin(), Entry{});
+}
+
+std::span<const util::PiecewiseLinear* const> CurveCache::curves_for(
+    const model::WorkAssignment& assignment,
+    const model::TimePartition& partition, int num_processors,
+    model::IntervalRange window, model::JobId ignore_job) {
+  PSS_REQUIRE(entries_.size() == assignment.num_intervals(),
+              "curve cache drifted from assignment");
+  PSS_REQUIRE(window.last <= entries_.size(), "window exceeds cache");
+  PSS_REQUIRE(window.first < window.last, "empty placement window");
+
+  scratch_.clear();
+  out_.clear();
+  for (std::size_t k = window.first; k < window.last; ++k) {
+    const double length = partition.length(k);
+    if (assignment.load_of(k, ignore_job) != 0.0) {
+      // The excluded job already owns load here (re-placement): this curve
+      // is not the all-loads curve, so build it aside and skip the cache.
+      // Rare path — grow scratch up front so the pointers below stay put.
+      if (scratch_.capacity() < window.size())
+        scratch_.reserve(window.size());
+      scratch_.push_back(chen::insertion_curve(
+          assignment.loads(k), ignore_job, num_processors, length));
+      out_.push_back(&scratch_.back());
+      ++stats_.rebuilds;
+      continue;
+    }
+    Entry& entry = entries_[k];
+    if (entry.built && entry.epoch == assignment.epoch(k) &&
+        entry.length == length) {
+      ++stats_.hits;
+    } else {
+      entry.curve = chen::insertion_curve(assignment.loads(k), ignore_job,
+                                          num_processors, length);
+      entry.epoch = assignment.epoch(k);
+      entry.length = length;
+      entry.built = true;
+      ++stats_.rebuilds;
+    }
+    out_.push_back(&entry.curve);
+  }
+  return out_;
+}
+
+}  // namespace pss::core

@@ -1,0 +1,75 @@
+// Per-interval insertion-curve cache for the incremental PD hot path.
+//
+// PD never redistributes committed load (the structural property behind
+// Theorem 3), so the insertion curve z_k(s) of an atomic interval only
+// changes when that interval's own loads change — an arrival dirties the
+// few intervals it places work into and leaves every other curve intact.
+// The cache keeps one built curve per interval and revalidates it against
+// WorkAssignment's per-interval epoch counter, so a stale entry is
+// detected without any explicit invalidation call on the load path.
+//
+// Structural refinements of the online partition (Section 3) shift
+// interval indices; the owner mirrors them through on_split / on_append /
+// on_prepend so cached curves stay aligned with their intervals. A
+// prepend, in particular, keeps every previously built curve valid — the
+// entries shift with their epochs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/time_partition.hpp"
+#include "model/work_assignment.hpp"
+#include "util/piecewise_linear.hpp"
+
+namespace pss::core {
+
+class CurveCache {
+ public:
+  struct Stats {
+    long long hits = 0;      // curves served without rebuilding
+    long long rebuilds = 0;  // curves (re)built from interval loads
+  };
+
+  /// Drops everything and resizes to `num_intervals` unbuilt slots.
+  void reset(std::size_t num_intervals);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  // Structural mirroring of the online partition refinements. Must be
+  // called in lockstep with the matching WorkAssignment mutation.
+  void on_split(std::size_t k);
+  void on_append();
+  void on_prepend();
+
+  /// Per-interval insertion curves for `window`, excluding `ignore_job`.
+  /// Entries whose epoch and length still match are served as hits; stale
+  /// entries rebuild and re-cache. An interval that currently holds a load
+  /// of `ignore_job` is built into scratch storage and not cached (the
+  /// cached curve must describe all committed loads). The span views a
+  /// reused member buffer — no per-call allocation on the hot path — and
+  /// stays valid until the next call or structural notification.
+  [[nodiscard]] std::span<const util::PiecewiseLinear* const> curves_for(
+      const model::WorkAssignment& assignment,
+      const model::TimePartition& partition, int num_processors,
+      model::IntervalRange window, model::JobId ignore_job = -1);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool built = false;
+    std::uint64_t epoch = 0;
+    double length = 0.0;
+    util::PiecewiseLinear curve;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<util::PiecewiseLinear> scratch_;  // ignore_job-tainted curves
+  std::vector<const util::PiecewiseLinear*> out_;  // curves_for result buffer
+  Stats stats_;
+};
+
+}  // namespace pss::core

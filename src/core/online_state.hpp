@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "core/curve_cache.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
 #include "util/assert.hpp"
@@ -20,12 +21,18 @@ struct OnlineState {
   long long horizon_extensions = 0;
 
   /// Makes t a boundary, splitting committed loads proportionally when t
-  /// falls inside an existing interval.
-  void ensure_boundary(double t) {
+  /// falls inside an existing interval. When a CurveCache is passed, the
+  /// structural change is mirrored into it so cached insertion curves stay
+  /// aligned with their intervals (set_load-level invalidation is handled
+  /// by WorkAssignment epochs, not here).
+  void ensure_boundary(double t, CurveCache* cache = nullptr) {
     if (partition.has_boundary(t)) return;
     if (partition.boundaries().size() < 2) {
       partition.insert_boundary(t);
-      if (partition.boundaries().size() == 2) assignment.append_interval();
+      if (partition.boundaries().size() == 2) {
+        assignment.append_interval();
+        if (cache) cache->on_append();
+      }
       return;
     }
     const double lo = partition.boundaries().front();
@@ -36,17 +43,16 @@ struct OnlineState {
           (t - partition.start(split)) /
           (partition.end(split + 1) - partition.start(split));
       assignment.split_interval(split, frac);
+      if (cache) cache->on_split(split);
       ++interval_splits;
     } else if (t > hi) {
       assignment.append_interval();
+      if (cache) cache->on_append();
       ++horizon_extensions;
     } else if (t < lo) {
       ++horizon_extensions;
-      model::WorkAssignment extended(assignment.num_intervals() + 1);
-      for (std::size_t k = 0; k < assignment.num_intervals(); ++k)
-        for (const model::Load& l : assignment.loads(k))
-          extended.set_load(k + 1, l.job, l.amount);
-      assignment = std::move(extended);
+      assignment.prepend_interval();
+      if (cache) cache->on_prepend();
     }
     PSS_CHECK(assignment.num_intervals() == partition.num_intervals(),
               "assignment drifted from partition");

@@ -15,41 +15,17 @@ namespace pss::core {
 
 PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
     : machine_(machine),
-      delta_(options.delta.value_or(optimal_delta(machine.alpha))) {
+      delta_(options.delta.value_or(optimal_delta(machine.alpha))),
+      incremental_(options.incremental) {
   PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
   PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
   PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
 }
 
 void PdScheduler::ensure_boundary(double t) {
-  if (partition_.has_boundary(t)) return;
-  if (partition_.boundaries().size() < 2) {
-    partition_.insert_boundary(t);
-    if (partition_.boundaries().size() == 2) assignment_.append_interval();
-    return;
-  }
-  const double lo = partition_.boundaries().front();
-  const double hi = partition_.boundaries().back();
-  const std::size_t split = partition_.insert_boundary(t);
-  if (split != std::size_t(-1)) {
-    // A real interior split: committed loads split proportionally
-    // (Section 3's online refinement).
-    const double frac = (t - partition_.start(split)) /
-                        (partition_.end(split + 1) - partition_.start(split));
-    assignment_.split_interval(split, frac);
-    ++counters_.interval_splits;
-  } else if (t > hi) {
-    assignment_.append_interval();
-    ++counters_.horizon_extensions;
-  } else if (t < lo) {
-    ++counters_.horizon_extensions;
-    // Prepend: rebuild with one extra leading interval.
-    model::WorkAssignment extended(assignment_.num_intervals() + 1);
-    for (std::size_t k = 0; k < assignment_.num_intervals(); ++k)
-      for (const model::Load& l : assignment_.loads(k))
-        extended.set_load(k + 1, l.job, l.amount);
-    assignment_ = std::move(extended);
-  }
+  // The cache mirrors structural refinements even on the reference path so
+  // the two modes share one state-transition code path.
+  state_.ensure_boundary(t, &cache_);
 }
 
 ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
@@ -62,18 +38,24 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   ensure_boundary(job.release);
   first_arrival_ = false;
   ensure_boundary(job.deadline);
-  PSS_CHECK(assignment_.num_intervals() == partition_.num_intervals(),
-            "assignment drifted from partition");
 
   const double alpha = machine_.alpha;
   const model::PowerFunction power(alpha);
-  const auto window = partition_.job_range(job);
+  const auto window = state_.partition.job_range(job);
   const double s_reject = rejection_speed(job.value, job.work, alpha, delta_);
 
   ArrivalDecision decision;
-  auto placement =
-      convex::water_fill(assignment_, partition_, machine_.num_processors,
-                         window, job.work, s_reject, job.id);
+  std::optional<convex::Placement> placement;
+  if (incremental_) {
+    const auto curves =
+        cache_.curves_for(state_.assignment, state_.partition,
+                          machine_.num_processors, window, job.id);
+    placement = convex::water_fill_over_curves(curves, job.work, s_reject);
+  } else {
+    placement = convex::water_fill(state_.assignment, state_.partition,
+                                   machine_.num_processors, window, job.work,
+                                   s_reject, job.id);
+  }
   if (!placement.has_value()) {
     // Line 12(b): the marginal hit v_j first; reset loads, fix lambda = v.
     decision.accepted = false;
@@ -88,25 +70,30 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
     decision.planned_energy =
         job.work * util::pos_pow(placement->speed, alpha - 1.0);
     for (std::size_t i = 0; i < window.size(); ++i)
-      assignment_.set_load(window.first + i, job.id, placement->amounts[i]);
+      state_.assignment.set_load(window.first + i, job.id,
+                                 placement->amounts[i]);
   }
   ++counters_.arrivals;
   (decision.accepted ? counters_.accepted : counters_.rejected) += 1;
+  counters_.interval_splits = state_.interval_splits;
+  counters_.horizon_extensions = state_.horizon_extensions;
+  counters_.curve_cache_hits = cache_.stats().hits;
+  counters_.curve_cache_rebuilds = cache_.stats().rebuilds;
   counters_.max_intervals =
-      std::max(counters_.max_intervals, partition_.num_intervals());
+      std::max(counters_.max_intervals, state_.partition.num_intervals());
   counters_.max_window = std::max(counters_.max_window, window.size());
   decisions_.push_back({job.id, decision});
   return decision;
 }
 
 double PdScheduler::planned_energy() const {
-  return convex::assignment_energy(assignment_, partition_,
+  return convex::assignment_energy(state_.assignment, state_.partition,
                                    machine_.num_processors, machine_.alpha);
 }
 
 model::Schedule PdScheduler::final_schedule() const {
   model::Schedule schedule = chen::realize_assignment(
-      assignment_, partition_, machine_.num_processors);
+      state_.assignment, state_.partition, machine_.num_processors);
   for (const auto& [id, decision] : decisions_)
     if (!decision.accepted) schedule.mark_rejected(id);
   return schedule;

@@ -21,6 +21,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/curve_cache.hpp"
+#include "core/online_state.hpp"
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
 #include "model/time_partition.hpp"
@@ -31,6 +33,11 @@ namespace pss::core {
 struct PdOptions {
   /// PD's parameter; nullopt selects the paper-optimal alpha^(1-alpha).
   std::optional<double> delta;
+  /// Place arrivals through the per-interval insertion-curve cache and the
+  /// lazy-sum water filling (the fast path). false recomputes every curve
+  /// from scratch per arrival — the stateless reference implementation.
+  /// Both paths commit bit-identical decisions (tests/test_differential).
+  bool incremental = true;
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -40,6 +47,8 @@ struct PdCounters {
   long long rejected = 0;
   long long interval_splits = 0;     // online refinements (Section 3)
   long long horizon_extensions = 0;  // boundaries outside the known horizon
+  long long curve_cache_hits = 0;      // curves served without rebuilding
+  long long curve_cache_rebuilds = 0;  // curves (re)built from loads
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
 };
@@ -66,12 +75,13 @@ class PdScheduler {
   ArrivalDecision on_arrival(const model::Job& job);
 
   [[nodiscard]] const model::TimePartition& partition() const {
-    return partition_;
+    return state_.partition;
   }
   [[nodiscard]] const model::WorkAssignment& assignment() const {
-    return assignment_;
+    return state_.assignment;
   }
   [[nodiscard]] double delta() const { return delta_; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
 
   /// Total energy of the committed plan (sum of interval P_k).
   [[nodiscard]] double planned_energy() const;
@@ -92,8 +102,9 @@ class PdScheduler {
 
   model::Machine machine_;
   double delta_;
-  model::TimePartition partition_;
-  model::WorkAssignment assignment_;
+  bool incremental_;
+  OnlineState state_;
+  CurveCache cache_;
   std::vector<std::pair<model::JobId, ArrivalDecision>> decisions_;
   PdCounters counters_;
   double last_release_ = -1.0;

@@ -20,23 +20,29 @@ void WorkAssignment::set_load(std::size_t k, JobId job, double amount) {
   auto it = std::find_if(loads.begin(), loads.end(),
                          [job](const Load& l) { return l.job == job; });
   if (amount == 0.0) {
-    if (it != loads.end()) loads.erase(it);
+    if (it != loads.end()) {
+      loads.erase(it);
+      ++epochs_[k];
+    }
     return;
   }
   if (it != loads.end())
     it->amount = amount;
   else
     loads.push_back({job, amount});
+  ++epochs_[k];
 }
 
 double WorkAssignment::remove_job(JobId job) {
   double removed = 0.0;
-  for (auto& loads : per_interval_) {
+  for (std::size_t k = 0; k < per_interval_.size(); ++k) {
+    auto& loads = per_interval_[k];
     auto it = std::find_if(loads.begin(), loads.end(),
                            [job](const Load& l) { return l.job == job; });
     if (it != loads.end()) {
       removed += it->amount;
       loads.erase(it);
+      ++epochs_[k];
     }
   }
   return removed;
@@ -67,6 +73,9 @@ void WorkAssignment::split_interval(std::size_t k, double frac) {
   per_interval_[k] = std::move(left);
   per_interval_.insert(per_interval_.begin() + std::ptrdiff_t(k) + 1,
                        std::move(right));
+  epochs_.insert(epochs_.begin() + std::ptrdiff_t(k) + 1, epochs_[k]);
+  ++epochs_[k];
+  ++epochs_[k + 1];
 }
 
 }  // namespace pss::model

@@ -23,8 +23,10 @@
 #include "convex/water_fill.hpp"
 
 // The paper's contribution and its extensions (Section 3).
+#include "core/curve_cache.hpp"
 #include "core/discrete_speeds.hpp"
 #include "core/fractional_pd.hpp"
+#include "core/online_state.hpp"
 #include "core/pd_scheduler.hpp"
 #include "core/rejection.hpp"
 #include "core/run.hpp"

@@ -11,11 +11,12 @@ namespace pss::sim {
 
 Aggregate sweep_seeds(int num_seeds,
                       const std::function<double(std::uint64_t)>& measure,
-                      std::uint64_t base_seed) {
+                      std::uint64_t base_seed, std::size_t num_threads) {
   std::vector<double> samples(static_cast<std::size_t>(num_seeds), 0.0);
-  util::parallel_for(0, std::size_t(num_seeds), [&](std::size_t i) {
-    samples[i] = measure(base_seed + i);
-  });
+  util::parallel_for(
+      0, std::size_t(num_seeds),
+      [&](std::size_t i) { samples[i] = measure(base_seed + i); },
+      num_threads);
   Aggregate agg;
   for (double s : samples) agg.add(s);
   return agg;

@@ -2,6 +2,7 @@
 // aggregate the results. All bench binaries are built on this.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -11,9 +12,11 @@ namespace pss::sim {
 
 /// Evaluates `measure(seed)` for seeds base_seed..base_seed+num_seeds-1 in
 /// parallel and aggregates the returned samples. Exceptions propagate.
+/// num_threads = 0 uses hardware concurrency; results are identical for any
+/// pool size (samples land by index — guarded by tests/test_sim.cpp).
 [[nodiscard]] Aggregate sweep_seeds(
     int num_seeds, const std::function<double(std::uint64_t)>& measure,
-    std::uint64_t base_seed = 1);
+    std::uint64_t base_seed = 1, std::size_t num_threads = 0);
 
 /// Returns the directory bench binaries write CSV mirrors into (created on
 /// demand, env PSS_RESULT_DIR overrides, default "bench_results" in cwd).

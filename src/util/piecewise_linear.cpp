@@ -78,6 +78,92 @@ std::optional<double> PiecewiseLinear::first_at_least(double y) const {
   return knots_.back().x + (y - knots_.back().y) / final_slope_;
 }
 
+LazyLinearSum::LazyLinearSum(std::span<const PiecewiseLinear* const> fns)
+    : fns_(fns) {
+  PSS_REQUIRE(!fns.empty(), "sum of zero functions");
+  front_ = fns.front() ? fns.front()->domain_start() : 0.0;
+  for (const PiecewiseLinear* f : fns) {
+    PSS_REQUIRE(f != nullptr && !f->empty(), "summand is empty");
+    PSS_REQUIRE(f->domain_start() == front_,
+                "summands must share a domain start");
+    back_ = std::max(back_, f->knots().back().x);
+    final_slope_ += f->final_slope();
+  }
+}
+
+double LazyLinearSum::sum_at(double x) const {
+  // Accumulation order matches PiecewiseLinear::sum's per-knot loop so the
+  // value here is bitwise the y that the materialized total stores.
+  double y = 0.0;
+  for (const PiecewiseLinear* f : fns_) y += f->eval(x);
+  return y;
+}
+
+LazyLinearSum::Bracket LazyLinearSum::bracket(double x) const {
+  // Union predecessor/successor of x via one binary search per summand.
+  Bracket b{front_, false, 0.0};
+  for (const PiecewiseLinear* f : fns_) {
+    const auto& knots = f->knots();
+    auto it = std::upper_bound(
+        knots.begin(), knots.end(), x,
+        [](double v, const PiecewiseLinear::Knot& k) { return v < k.x; });
+    if (it != knots.begin()) b.lo = std::max(b.lo, (it - 1)->x);
+    if (it != knots.end() && (!b.has_hi || it->x < b.hi)) {
+      b.has_hi = true;
+      b.hi = it->x;
+    }
+  }
+  return b;
+}
+
+double LazyLinearSum::eval(double x) const {
+  PSS_REQUIRE(x >= front_ - 1e-12, "x below domain start");
+  if (x <= front_) return sum_at(front_);
+  if (x >= back_) return sum_at(back_) + final_slope_ * (x - back_);
+  const Bracket b = bracket(x);  // b.has_hi: x < back_ guarantees a successor
+  const double lo_y = sum_at(b.lo);
+  const double hi_y = sum_at(b.hi);
+  const double t = (x - b.lo) / (b.hi - b.lo);
+  return lo_y + t * (hi_y - lo_y);
+}
+
+std::optional<double> LazyLinearSum::first_at_least(double y) const {
+  double a = front_;
+  double sum_a = sum_at(a);
+  if (sum_a >= y) return a;
+  double b = back_;
+  double sum_b = sum_at(b);
+  if (sum_b < y) {
+    if (final_slope_ <= 0.0) return std::nullopt;
+    return back_ + (y - sum_b) / final_slope_;
+  }
+  // Invariant: a and b are union knots with sum(a) < y <= sum(b). Bisect on
+  // x, snapping each midpoint to its bracketing union knots, until a and b
+  // are adjacent — b is then the first union knot whose sum reaches y,
+  // exactly the knot lower_bound finds on the materialized total.
+  while (true) {
+    const double mid = a + 0.5 * (b - a);
+    if (!(mid > a && mid < b)) break;  // fp-resolution limit: treat adjacent
+    const Bracket br = bracket(mid);
+    double next = br.lo;  // in [a, mid]
+    if (next == a) {
+      if (!br.has_hi || br.hi == b) break;  // no knot strictly inside (a, b)
+      next = br.hi;                         // in (mid, b)
+    }
+    const double sum_next = sum_at(next);
+    if (sum_next < y) {
+      a = next;
+      sum_a = sum_next;
+    } else {
+      b = next;
+      sum_b = sum_next;
+    }
+  }
+  if (sum_b == sum_a) return b;  // flat segment ending exactly at y
+  const double t = (y - sum_a) / (sum_b - sum_a);
+  return a + t * (b - a);
+}
+
 PiecewiseLinear PiecewiseLinear::sum(std::span<const PiecewiseLinear> fns) {
   PSS_REQUIRE(!fns.empty(), "sum of zero functions");
   std::vector<double> xs;

@@ -58,4 +58,50 @@ class PiecewiseLinear {
   double final_slope_ = 0.0;
 };
 
+/// Lazy pointwise sum over a fixed set of summands.
+///
+/// PiecewiseLinear::sum materializes the total by evaluating every summand
+/// at every union knot — O(N * W) for N total knots over W summands. This
+/// view materializes nothing: queries locate the union knots bracketing a
+/// point through per-summand binary searches (O(W log K) each) and invert
+/// the sum by bisection over those brackets, which is all the
+/// water-filling inversion needs — one eval at the speed cap, one monotone
+/// search for the level.
+///
+/// Query arithmetic mirrors sum() followed by eval()/first_at_least() on
+/// the materialized total knot for knot (same summand order, same
+/// interpolation formulas), so both routes return bit-identical results.
+/// The one exception is sum()'s monotonicity clamp in from_knots, which
+/// only engages on sub-ulp floating-point dips and is not reproduced here.
+class LazyLinearSum {
+ public:
+  /// `fns` must be nonempty, all non-null and non-empty, sharing a domain
+  /// start (the same preconditions as PiecewiseLinear::sum). The summands
+  /// must outlive the view.
+  explicit LazyLinearSum(std::span<const PiecewiseLinear* const> fns);
+
+  /// Sum of the summands at x, interpolated between the union knots
+  /// bracketing x exactly as eval() on the materialized total would.
+  [[nodiscard]] double eval(double x) const;
+
+  /// Smallest x with sum(x) >= y, or nullopt if y is never reached.
+  [[nodiscard]] std::optional<double> first_at_least(double y) const;
+
+  [[nodiscard]] double final_slope() const { return final_slope_; }
+
+ private:
+  struct Bracket {
+    double lo;       // largest union knot <= x
+    bool has_hi;     // false when x is at or past the last union knot
+    double hi;       // smallest union knot > x (when has_hi)
+  };
+  [[nodiscard]] Bracket bracket(double x) const;
+  [[nodiscard]] double sum_at(double x) const;
+
+  std::span<const PiecewiseLinear* const> fns_;
+  double front_ = 0.0;  // shared domain start (first union knot)
+  double back_ = 0.0;   // last union knot
+  double final_slope_ = 0.0;
+};
+
 }  // namespace pss::util

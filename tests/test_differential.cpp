@@ -1,0 +1,129 @@
+// Differential harness for the incremental PD engine.
+//
+// The curve-cache + lazy-sum fast path must be *decision-identical* to the
+// stateless reference path: same accept/reject bits, and bitwise-equal
+// lambdas, speeds, planned energies, and final-schedule cost, on every
+// instance we can generate. The fast path mirrors the reference arithmetic
+// operation for operation (see util::LazyLinearSum), so the comparisons
+// here are exact EQ, not NEAR — any reordering of floating-point work in a
+// future change will show up as a hard failure, which is the point.
+//
+// Coverage: ~1k seeded instances across uniform, bursty (Poisson heavy
+// tail), tight-laxity, and the adversarial Theorem-3 stream, for
+// alpha in {1.1, 2, 3} x m in {1, 4, 16}.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "model/instance.hpp"
+#include "model/schedule.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using core::PdScheduler;
+using model::Machine;
+
+struct DiffParam {
+  double alpha;
+  int m;
+};
+
+class PdDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+// Feeds both engines in lockstep and asserts bitwise-identical decisions.
+void expect_engines_identical(const model::Instance& instance) {
+  PdScheduler reference(instance.machine(),
+                        {.delta = {}, .incremental = false});
+  PdScheduler cached(instance.machine(), {.delta = {}, .incremental = true});
+  for (const model::Job& job : instance.jobs_by_release()) {
+    const auto a = reference.on_arrival(job);
+    const auto b = cached.on_arrival(job);
+    ASSERT_EQ(a.accepted, b.accepted) << job.to_string();
+    ASSERT_EQ(a.speed, b.speed) << job.to_string();
+    ASSERT_EQ(a.lambda, b.lambda) << job.to_string();
+    ASSERT_EQ(a.planned_energy, b.planned_energy) << job.to_string();
+  }
+  ASSERT_EQ(reference.planned_energy(), cached.planned_energy());
+  const auto cost_ref = reference.final_schedule().cost(instance);
+  const auto cost_fast = cached.final_schedule().cost(instance);
+  ASSERT_EQ(cost_ref.total(), cost_fast.total());
+  // The fast path must actually have gone through the cache.
+  EXPECT_GT(cached.counters().curve_cache_hits +
+                cached.counters().curve_cache_rebuilds,
+            0);
+  EXPECT_EQ(reference.counters().curve_cache_hits, 0);
+}
+
+constexpr int kSeedsPerFamily = 25;
+
+TEST_P(PdDifferential, UniformInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < kSeedsPerFamily; ++seed) {
+    SCOPED_TRACE("uniform seed " + std::to_string(seed));
+    workload::UniformConfig config;
+    config.num_jobs = 30 + 7 * (seed % 5);
+    config.value_scale = 0.8 + 0.4 * (seed % 4);  // contested accept/reject
+    config.must_finish = seed % 6 == 0;
+    const auto inst = workload::uniform_random(
+        config, Machine{param.m, param.alpha}, 5000 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+  }
+}
+
+TEST_P(PdDifferential, BurstyHeavyTailInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < kSeedsPerFamily; ++seed) {
+    SCOPED_TRACE("bursty seed " + std::to_string(seed));
+    workload::PoissonConfig config;
+    config.num_jobs = 30 + 5 * (seed % 6);
+    config.arrival_rate = 0.5 + double(seed % 3);  // bursts of simultaneity
+    config.value_scale = 1.0 + 0.5 * (seed % 3);
+    const auto inst = workload::poisson_heavy_tail(
+        config, Machine{param.m, param.alpha}, 6000 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+  }
+}
+
+TEST_P(PdDifferential, TightLaxityInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < kSeedsPerFamily; ++seed) {
+    SCOPED_TRACE("tight seed " + std::to_string(seed));
+    workload::TightConfig config;
+    config.num_jobs = 25 + 5 * (seed % 4);
+    config.speed_target = 1.0 + 0.5 * (seed % 5);
+    const auto inst = workload::tight_laxity(
+        config, Machine{param.m, param.alpha}, 7000 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+  }
+}
+
+TEST_P(PdDifferential, AdversarialTheorem3Instances) {
+  const DiffParam param = GetParam();
+  for (int n = 4; n <= 40; n += 6) {
+    for (const double multiplier : {-1.0, 2.0, 100.0}) {
+      SCOPED_TRACE("adversarial n=" + std::to_string(n) +
+                   " mult=" + std::to_string(multiplier));
+      const auto inst = workload::adversarial_theorem3(
+          n, Machine{param.m, param.alpha}, multiplier);
+      expect_engines_identical(inst);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaTimesProcessors, PdDifferential,
+    ::testing::Values(DiffParam{1.1, 1}, DiffParam{1.1, 4}, DiffParam{1.1, 16},
+                      DiffParam{2.0, 1}, DiffParam{2.0, 4}, DiffParam{2.0, 16},
+                      DiffParam{3.0, 1}, DiffParam{3.0, 4},
+                      DiffParam{3.0, 16}),
+    [](const auto& info) {
+      return "alpha" + std::to_string(int(info.param.alpha * 10)) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+}  // namespace
+}  // namespace pss

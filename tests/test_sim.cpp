@@ -2,6 +2,9 @@
 // cross-algorithm comparison helper.
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "core/run.hpp"
 #include "sim/compare.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -40,6 +43,28 @@ TEST(SweepSeeds, DeterministicAndComplete) {
   EXPECT_EQ(agg.count(), 32u);
   EXPECT_DOUBLE_EQ(agg.min(), 5.0);
   EXPECT_DOUBLE_EQ(agg.max(), 36.0);
+}
+
+// The throughput numbers lean on parallel sweeps, so the sweep must be
+// bitwise thread-count-invariant: pool sizes 1, 2, and hardware_concurrency
+// land every sample at the same index with the same value. The measurement
+// is a real PD run (the incremental engine), not a toy function, so an
+// ordering bug anywhere in the pool or the scheduler would surface here.
+TEST(SweepSeeds, ThreadCountInvariant) {
+  const auto measure = [](std::uint64_t seed) {
+    workload::UniformConfig config;
+    config.num_jobs = 20;
+    config.value_scale = 1.2;
+    const auto inst =
+        workload::uniform_random(config, model::Machine{2, 2.5}, seed);
+    return core::run_pd(inst).cost.total();
+  };
+  const auto serial = sim::sweep_seeds(24, measure, 1, 1);
+  const auto two_threads = sim::sweep_seeds(24, measure, 1, 2);
+  const auto hardware = sim::sweep_seeds(
+      24, measure, 1, std::thread::hardware_concurrency());
+  EXPECT_EQ(serial.samples(), two_threads.samples());
+  EXPECT_EQ(serial.samples(), hardware.samples());
 }
 
 TEST(SweepSeeds, PropagatesErrors) {
