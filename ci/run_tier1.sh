@@ -31,4 +31,17 @@ else
 fi
 echo "perf-smoke: OK (${BUILD_DIR}/bench_results/BENCH_throughput.json)"
 
+# Shard-scale smoke: tiny multi-stream run of the serving engine. The driver
+# exits nonzero if per-stream results ever differ across shard counts or
+# from a direct PdScheduler replay.
+PSS_SHARD_JOBS=8 PSS_SHARD_MAX_STREAMS=64 PSS_SHARD_MAX_SHARDS=2 \
+  PSS_RESULT_DIR=bench_results \
+  ./bench_shard_scale --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_shard.json > /dev/null
+else
+  grep -q '"determinism_match": true' bench_results/BENCH_shard.json
+fi
+echo "shard-smoke: OK (${BUILD_DIR}/bench_results/BENCH_shard.json)"
+
 echo "tier-1: OK"

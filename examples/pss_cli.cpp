@@ -5,6 +5,10 @@
 //   pss_cli run <algorithm> <in.pssi> [--gantt] [--csv out.csv]
 //       algorithms: pd | oa | qoa | cll | avr
 //   pss_cli validate <in.pssi>
+//   pss_cli serve [--shards N] [--streams K] [--jobs J] [--m M]
+//                 [--alpha A] [--seed S] [--reject-on-full]
+//       multiplexes K independent PD job streams over N engine shards
+//       (src/stream) and prints the aggregated serving snapshot
 //
 // Instances travel in the pss-instance v1 text format (src/io), so
 // workloads generated here can be replayed against external schedulers.
@@ -19,6 +23,8 @@
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
 #include "model/schedule.hpp"
+#include "sim/stream_sweep.hpp"
+#include "stream/engine.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -31,7 +37,9 @@ int usage() {
       << "  pss_cli gen <uniform|poisson|tight|datacenter|adversarial> "
          "<n> <m> <alpha> <seed> <out.pssi>\n"
       << "  pss_cli run <pd|oa|qoa|cll|avr> <in.pssi> [--gantt] [--csv F]\n"
-      << "  pss_cli validate <in.pssi>\n";
+      << "  pss_cli validate <in.pssi>\n"
+      << "  pss_cli serve [--shards N] [--streams K] [--jobs J] [--m M] "
+         "[--alpha A] [--seed S] [--reject-on-full]\n";
   return 2;
 }
 
@@ -130,6 +138,72 @@ int cmd_run(int argc, char** argv) {
   return validation.ok ? 0 : 1;
 }
 
+// Multi-stream serving demo: K seeded dense streams multiplexed over N
+// shards, end to end through the stream engine.
+int cmd_serve(int argc, char** argv) {
+  std::size_t shards = 4;
+  int streams = 256;
+  int jobs = 32;
+  int m = 2;
+  double alpha = 2.0;
+  std::uint64_t seed = 1;
+  bool reject_on_full = false;
+  for (int i = 2; i < argc; ++i) {
+    const auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (!std::strcmp(argv[i], "--shards")) {
+      int value = 0;
+      if (!next_int(value)) return usage();
+      shards = std::size_t(value);
+    } else if (!std::strcmp(argv[i], "--streams")) {
+      if (!next_int(streams)) return usage();
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      if (!next_int(jobs)) return usage();
+    } else if (!std::strcmp(argv[i], "--m")) {
+      if (!next_int(m)) return usage();
+    } else if (!std::strcmp(argv[i], "--alpha") && i + 1 < argc) {
+      alpha = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--reject-on-full")) {
+      reject_on_full = true;
+    } else {
+      return usage();
+    }
+  }
+
+  sim::StreamWorkloadConfig config;
+  config.num_streams = streams;
+  config.jobs_per_stream = jobs;
+  config.base_seed = seed;
+  stream::EngineOptions options;
+  options.num_shards = shards;
+  options.machine = model::Machine{m, alpha};
+  options.backpressure = reject_on_full ? stream::Backpressure::kReject
+                                        : stream::Backpressure::kBlock;
+  const sim::StreamSweepResult result = sim::sweep_streams(config, options);
+  const stream::EngineSnapshot& snap = result.snapshot;
+
+  std::cout << "serving " << streams << " streams x " << jobs
+            << " jobs over " << shards << " shards (m = " << m
+            << ", alpha = " << alpha << ")\n"
+            << "arrivals      : " << snap.arrivals << " ("
+            << long(result.arrivals_per_sec) << "/s)\n"
+            << "accepted      : " << snap.accepted << "\n"
+            << "rejected (PD) : " << snap.rejected << "\n"
+            << "shed on full  : " << snap.queue_rejects << "\n"
+            << "closed streams: " << snap.closed_streams << "\n"
+            << "planned energy: " << snap.closed_energy << "\n"
+            << "per-shard arrivals:";
+  for (const stream::ShardSnapshot& shard : snap.shards)
+    std::cout << ' ' << shard.arrivals;
+  std::cout << "\n";
+  return 0;
+}
+
 int cmd_validate(int argc, char** argv) {
   if (argc != 3) return usage();
   const model::Instance instance = io::load_instance(argv[2]);
@@ -150,6 +224,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "validate") return cmd_validate(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

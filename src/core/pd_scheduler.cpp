@@ -28,6 +28,23 @@ void PdScheduler::ensure_boundary(double t) {
   state_.ensure_boundary(t, &cache_);
 }
 
+void PdScheduler::advance_to(double t) {
+  PSS_REQUIRE(first_arrival_ || t >= last_release_ - 1e-12,
+              "advance_to must move the clock forward");
+  ensure_boundary(t);
+  first_arrival_ = false;
+  last_release_ = std::max(last_release_, t);
+}
+
+void PdScheduler::reset() {
+  state_ = OnlineState{};
+  cache_.reset(0);
+  decisions_.clear();
+  counters_ = PdCounters{};
+  last_release_ = -1.0;
+  first_arrival_ = true;
+}
+
 ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   PSS_REQUIRE(job.deadline > job.release, "bad job window");
   PSS_REQUIRE(job.work > 0.0, "job work must be positive");

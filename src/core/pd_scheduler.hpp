@@ -18,6 +18,7 @@
 // and that bound is tight for PD.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -51,6 +52,25 @@ struct PdCounters {
   long long curve_cache_rebuilds = 0;  // curves (re)built from loads
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
+
+  /// Aggregation across independent schedulers (shards, sweeps): counts
+  /// add, high-water marks take the max.
+  PdCounters& operator+=(const PdCounters& other) {
+    arrivals += other.arrivals;
+    accepted += other.accepted;
+    rejected += other.rejected;
+    interval_splits += other.interval_splits;
+    horizon_extensions += other.horizon_extensions;
+    curve_cache_hits += other.curve_cache_hits;
+    curve_cache_rebuilds += other.curve_cache_rebuilds;
+    max_intervals = std::max(max_intervals, other.max_intervals);
+    max_window = std::max(max_window, other.max_window);
+    return *this;
+  }
+  friend PdCounters operator+(PdCounters lhs, const PdCounters& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
 };
 
 struct ArrivalDecision {
@@ -73,6 +93,18 @@ class PdScheduler {
 
   /// Processes one arrival and commits the decision.
   ArrivalDecision on_arrival(const model::Job& job);
+
+  /// Advances the scheduler to time t without an arrival: t becomes a
+  /// boundary of the online partition (extending the horizon if needed) and
+  /// the release-order monotonicity clock moves forward. Lets a serving
+  /// layer keep idle sessions aligned with wall-clock time.
+  void advance_to(double t);
+
+  /// Returns the scheduler to its freshly-constructed state (machine, delta
+  /// and mode are kept). The session-reuse entry point for the stream
+  /// engine: a pooled scheduler object is reset and handed to the next
+  /// stream instead of being destroyed and reallocated.
+  void reset();
 
   [[nodiscard]] const model::TimePartition& partition() const {
     return state_.partition;

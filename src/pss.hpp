@@ -38,12 +38,19 @@
 #include "baselines/replan_engine.hpp"
 #include "baselines/yds.hpp"
 
+// The sharded multi-stream serving engine (systems layer over core).
+#include "stream/engine.hpp"
+#include "stream/router.hpp"
+#include "stream/session_table.hpp"
+#include "stream/spsc_queue.hpp"
+
 // Workloads, experiments, I/O.
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
 #include "sim/compare.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
+#include "sim/stream_sweep.hpp"
 #include "workload/generators.hpp"
 
 // Utilities used throughout the public API (seeded RNG, result tables,

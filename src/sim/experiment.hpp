@@ -14,6 +14,10 @@ namespace pss::sim {
 /// parallel and aggregates the returned samples. Exceptions propagate.
 /// num_threads = 0 uses hardware concurrency; results are identical for any
 /// pool size (samples land by index — guarded by tests/test_sim.cpp).
+/// Runs on the process-wide util::shared_pool(), so back-to-back sweeps
+/// reuse threads instead of spawning a fresh set per call. For sweeping
+/// many concurrent job *streams* through the serving engine, see
+/// sim/stream_sweep.hpp.
 [[nodiscard]] Aggregate sweep_seeds(
     int num_seeds, const std::function<double(std::uint64_t)>& measure,
     std::uint64_t base_seed = 1, std::size_t num_threads = 0);

@@ -1,0 +1,54 @@
+// Multi-stream sweeps through the stream engine — the serving-layer
+// counterpart of sweep_seeds. Generates K independent seeded job streams,
+// feeds them through a stream::StreamEngine interleaved by release tick
+// (the shape of multiplexed live traffic), closes every stream after its
+// last arrival, and collects per-stream results plus the aggregated
+// engine snapshot.
+//
+// Stream i's workload depends only on (config, base_seed + i), and the
+// engine pins each stream to one worker, so per-stream results are bitwise
+// identical for any shard count — the serving-layer analogue of
+// sweep_seeds' thread-count invariance (pinned by tests/test_stream.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/job.hpp"
+#include "stream/engine.hpp"
+
+namespace pss::sim {
+
+/// Tick-quantized contested stream family (the bench_throughput "dense"
+/// regime by default): arrivals at integer ticks, `jobs_per_tick` arrivals
+/// sharing each tick, integer spans, mixed accept/reject economics.
+struct StreamWorkloadConfig {
+  int num_streams = 100;
+  int jobs_per_stream = 50;
+  double jobs_per_tick = 50.0;
+  int min_span = 8;
+  int max_span = 24;
+  std::uint64_t base_seed = 1;
+};
+
+/// The jobs of stream `index` (deterministic in config and index alone).
+/// `alpha` shapes the job values around the energy-fair price.
+[[nodiscard]] std::vector<model::Job> make_stream_jobs(
+    const StreamWorkloadConfig& config, int index, double alpha);
+
+struct StreamSweepResult {
+  /// One entry per closed stream, sorted by stream id.
+  std::vector<stream::StreamResult> streams;
+  /// Final engine state (taken after the last op drained).
+  stream::EngineSnapshot snapshot;
+  /// Wall time from first feed to fully drained, and the aggregate rate.
+  double seconds = 0.0;
+  double arrivals_per_sec = 0.0;
+};
+
+/// Runs the configured streams through an engine built from `options`.
+/// Stream ids are 0..num_streams-1.
+[[nodiscard]] StreamSweepResult sweep_streams(
+    const StreamWorkloadConfig& config, const stream::EngineOptions& options);
+
+}  // namespace pss::sim

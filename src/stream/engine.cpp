@@ -1,0 +1,260 @@
+#include "stream/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace pss::stream {
+
+StreamEngine::StreamEngine(EngineOptions options)
+    : options_(options),
+      router_(options.num_shards),
+      paused_(options.start_paused) {
+  PSS_REQUIRE(options_.num_shards >= 1, "need at least one shard");
+  PSS_REQUIRE(options_.drain_batch >= 1, "drain_batch must be positive");
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(options_));
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+StreamEngine::~StreamEngine() { stop(); }
+
+void StreamEngine::wake(Shard& shard) {
+  // Dekker-style handshake with the worker's sleep path: the ring push
+  // (seq_cst fence below) and the worker's sleeping-flag store are ordered
+  // so that either we observe sleeping == true and notify, or the worker's
+  // post-flag emptiness recheck observes our push — never neither.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.sleeping.load(std::memory_order_relaxed)) {
+    std::lock_guard lock(shard.wake_mutex);
+    shard.wake_cv.notify_one();
+  }
+}
+
+bool StreamEngine::enqueue(std::size_t shard_index, ShardOp op) {
+  PSS_REQUIRE(!finished_, "engine already finished");
+  Shard& shard = *shards_[shard_index];
+  if (!shard.queue.try_push(op)) {
+    if (options_.backpressure == Backpressure::kReject) {
+      shard.queue_rejects.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    PSS_REQUIRE(!paused_.load(std::memory_order_relaxed),
+                "blocking push on a paused engine would deadlock");
+    shard.full_waits.fetch_add(1, std::memory_order_relaxed);
+    // Timed retry instead of a wake-perfect protocol: this is the
+    // backpressure slow path, and a bounded poll makes a missed producer
+    // wake impossible by construction.
+    while (!shard.queue.try_push(op)) {
+      std::unique_lock lock(shard.stats_mutex);
+      shard.drained_cv.wait_for(lock, std::chrono::microseconds(100));
+    }
+  }
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
+  wake(shard);
+  return true;
+}
+
+bool StreamEngine::open(StreamId id) {
+  return enqueue(router_.shard_of(id),
+                 ShardOp{ShardOp::Kind::kOpen, id, 0.0, {}});
+}
+
+bool StreamEngine::feed(StreamId id, const model::Job& job) {
+  return enqueue(router_.shard_of(id),
+                 ShardOp{ShardOp::Kind::kArrival, id, 0.0, job});
+}
+
+bool StreamEngine::advance(StreamId id, double t) {
+  return enqueue(router_.shard_of(id),
+                 ShardOp{ShardOp::Kind::kAdvance, id, t, {}});
+}
+
+bool StreamEngine::close_stream(StreamId id) {
+  return enqueue(router_.shard_of(id),
+                 ShardOp{ShardOp::Kind::kClose, id, 0.0, {}});
+}
+
+void StreamEngine::resume() {
+  paused_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->wake_mutex);
+    shard->wake_cv.notify_one();
+  }
+}
+
+void StreamEngine::drain() {
+  PSS_REQUIRE(!paused_.load(std::memory_order_relaxed),
+              "draining a paused engine would deadlock");
+  for (auto& shard : shards_) {
+    const long long target = shard->enqueued.load(std::memory_order_relaxed);
+    std::unique_lock lock(shard->stats_mutex);
+    shard->drained_cv.wait(
+        lock, [&] { return shard->published.processed >= target; });
+  }
+}
+
+void StreamEngine::stop() {
+  if (finished_) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->wake_mutex);
+    shard->wake_cv.notify_one();
+  }
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  finished_ = true;
+}
+
+std::vector<StreamResult> StreamEngine::finish() {
+  if (!finished_) {
+    if (paused_.load(std::memory_order_relaxed)) resume();
+    drain();
+    stop();
+  }
+  std::vector<StreamResult> results;
+  for (auto& shard : shards_) {
+    auto completed = shard->sessions.take_completed();
+    results.insert(results.end(), std::make_move_iterator(completed.begin()),
+                   std::make_move_iterator(completed.end()));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const StreamResult& a, const StreamResult& b) {
+              return a.id < b.id;
+            });
+  return results;
+}
+
+EngineSnapshot StreamEngine::snapshot() const {
+  EngineSnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardSnapshot s;
+    {
+      std::lock_guard lock(shard->stats_mutex);
+      s = shard->published;
+    }
+    s.queue_depth = shard->queue.size();
+    s.enqueued = shard->enqueued.load(std::memory_order_relaxed);
+    s.queue_rejects = shard->queue_rejects.load(std::memory_order_relaxed);
+    s.full_waits = shard->full_waits.load(std::memory_order_relaxed);
+    snap.arrivals += s.arrivals;
+    snap.accepted += s.accepted;
+    snap.rejected += s.rejected;
+    snap.queue_rejects += s.queue_rejects;
+    snap.full_waits += s.full_waits;
+    snap.op_errors += s.op_errors;
+    snap.queue_depth += s.queue_depth;
+    snap.open_streams += s.open_streams;
+    snap.closed_streams += s.closed_streams;
+    snap.decision_energy += s.decision_energy;
+    snap.closed_energy += s.closed_energy;
+    snap.counters += s.counters;
+    snap.shards.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void StreamEngine::worker_loop(Shard& shard) {
+  std::vector<ShardOp> batch;
+  batch.reserve(options_.drain_batch);
+  for (;;) {
+    if (paused_.load(std::memory_order_acquire) &&
+        !stopping_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(shard.wake_mutex);
+      shard.wake_cv.wait(lock, [&] {
+        return !paused_.load(std::memory_order_relaxed) ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+    }
+
+    batch.clear();
+    shard.queue.pop_batch(batch, options_.drain_batch);
+    if (batch.empty()) {
+      // On stop, exit only once the ring is fully drained: every op
+      // accepted before stop() is applied (correct shutdown).
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Sleep handshake, consumer half (see wake()): flag, fence, recheck.
+      shard.sleeping.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (shard.queue.empty() && !stopping_.load(std::memory_order_relaxed) &&
+          !paused_.load(std::memory_order_relaxed)) {
+        std::unique_lock lock(shard.wake_mutex);
+        shard.wake_cv.wait(lock, [&] {
+          return !shard.queue.empty() ||
+                 stopping_.load(std::memory_order_relaxed) ||
+                 paused_.load(std::memory_order_relaxed);
+        });
+      }
+      shard.sleeping.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Apply the batch without holding any lock; fold tallies locally.
+    long long arrivals = 0, accepted = 0, rejected = 0;
+    long long closed = 0, op_errors = 0;
+    double decision_energy = 0.0, closed_energy = 0.0;
+    core::PdCounters closed_counters;
+    for (ShardOp& op : batch) {
+      // A precondition violation (a client feeding a malformed job or
+      // breaking release order) poisons that op only: the engine counts
+      // it and keeps serving every other stream.
+      try {
+        switch (op.kind) {
+          case ShardOp::Kind::kOpen:
+            shard.sessions.open(op.stream);
+            break;
+          case ShardOp::Kind::kArrival: {
+            const core::ArrivalDecision decision =
+                shard.sessions.feed(op.stream, op.job);
+            ++arrivals;
+            if (decision.accepted) {
+              ++accepted;
+              decision_energy += decision.planned_energy;
+            } else {
+              ++rejected;
+            }
+            break;
+          }
+          case ShardOp::Kind::kAdvance:
+            shard.sessions.advance(op.stream, op.time);
+            break;
+          case ShardOp::Kind::kClose: {
+            const StreamResult* result = shard.sessions.close(op.stream);
+            if (result != nullptr) {
+              ++closed;
+              closed_energy += result->planned_energy;
+              closed_counters += result->counters;
+            }
+            break;
+          }
+        }
+      } catch (const std::exception&) {
+        ++op_errors;
+      }
+    }
+
+    // One stats lock per batch — the amortization the ring exists for.
+    {
+      std::lock_guard lock(shard.stats_mutex);
+      ShardSnapshot& p = shard.published;
+      p.processed += static_cast<long long>(batch.size());
+      p.batches += 1;
+      p.op_errors += op_errors;
+      p.arrivals += arrivals;
+      p.accepted += accepted;
+      p.rejected += rejected;
+      p.decision_energy += decision_energy;
+      p.closed_streams += closed;
+      p.closed_energy += closed_energy;
+      p.counters += closed_counters;
+      p.open_streams = shard.sessions.num_open();
+    }
+    shard.drained_cv.notify_all();  // drain() waiters and blocked producers
+  }
+}
+
+}  // namespace pss::stream

@@ -1,0 +1,196 @@
+// Sharded multi-stream serving engine.
+//
+// The paper's online scheduler is a sequential per-instance algorithm, but
+// independent instances share nothing — so a serving layer can multiplex
+// millions of concurrent job streams by hashing each stream to one of N
+// worker shards and running a pool of PdScheduler sessions per shard.
+//
+//   control thread ──route──> [SPSC ring] ──batch──> shard worker
+//                             (bounded)              SessionTable
+//                                                    (PdScheduler pool)
+//
+// Ingestion is batched: a worker drains up to `drain_batch` queued ops per
+// wake and pays the stats lock and the producer handshake once per batch,
+// not once per arrival. Backpressure on a full ring is either blocking
+// (default: the control thread waits for the worker, nothing is lost) or
+// load-shedding (`Backpressure::kReject`: the op is dropped and counted —
+// distinct from PD's *economic* rejection of an accepted-for-processing
+// arrival).
+//
+// Determinism: a stream's arrivals are handled by exactly one worker, in
+// feed order, by a scheduler that sees only that stream. Per-stream
+// decisions, counters, and energies are therefore bitwise identical for any
+// shard count (tests/test_stream.cpp pins 1/4/16).
+//
+// Threading contract: open/feed/advance/close_stream/drain/finish are
+// producer-side and must be called from one thread at a time (the rings are
+// SPSC). snapshot() may be called concurrently from any thread — it reads
+// per-shard published stats under per-shard locks, never pausing workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "model/instance.hpp"
+#include "model/job.hpp"
+#include "stream/router.hpp"
+#include "stream/session_table.hpp"
+#include "stream/spsc_queue.hpp"
+
+namespace pss::stream {
+
+/// What to do when a shard's ingestion ring is full.
+enum class Backpressure {
+  kBlock,   // control thread waits for the worker to free space
+  kReject,  // drop the op, count it in queue_rejects
+};
+
+struct EngineOptions {
+  std::size_t num_shards = 1;
+  /// Per-shard ring capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 1024;
+  /// Max ops a worker drains per wake; the batching grain.
+  std::size_t drain_batch = 128;
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Capture per-arrival decisions into StreamResult (memory-heavy; meant
+  /// for tests and differential checks, not bulk serving).
+  bool record_decisions = false;
+  /// Construct with workers parked until resume() — lets tests fill a ring
+  /// deterministically before anything drains.
+  bool start_paused = false;
+  /// Machine every session runs on.
+  model::Machine machine{1, 2.0};
+  /// PD configuration for every session.
+  core::PdOptions scheduler{};
+};
+
+/// Per-shard slice of a snapshot. "Live" fields cover all traffic so far;
+/// `counters` / `closed_energy` aggregate the sessions already closed.
+struct ShardSnapshot {
+  std::size_t queue_depth = 0;   // ops sitting in the ring right now
+  long long enqueued = 0;        // ops accepted into the ring
+  long long processed = 0;       // ops applied by the worker
+  long long batches = 0;         // worker wakes that drained work
+  long long queue_rejects = 0;   // ops shed on a full ring (kReject)
+  long long full_waits = 0;      // producer stalls on a full ring (kBlock)
+  long long op_errors = 0;       // ops rejected by a session precondition
+  long long arrivals = 0;        // live, all sessions
+  long long accepted = 0;
+  long long rejected = 0;
+  double decision_energy = 0.0;  // live sum of accepted planned energies
+  std::size_t open_streams = 0;
+  long long closed_streams = 0;
+  double closed_energy = 0.0;           // exact, closed sessions
+  core::PdCounters counters;            // aggregated over closed sessions
+};
+
+/// Aggregated engine state, assembled shard by shard without stopping the
+/// world (each shard is locked briefly and independently).
+struct EngineSnapshot {
+  long long arrivals = 0;
+  long long accepted = 0;
+  long long rejected = 0;
+  long long queue_rejects = 0;
+  long long full_waits = 0;
+  long long op_errors = 0;
+  std::size_t queue_depth = 0;
+  std::size_t open_streams = 0;
+  long long closed_streams = 0;
+  double decision_energy = 0.0;
+  double closed_energy = 0.0;
+  core::PdCounters counters;
+  std::vector<ShardSnapshot> shards;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(EngineOptions options);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const StreamRouter& router() const { return router_; }
+
+  /// Opens a session before traffic arrives (feed auto-opens otherwise).
+  bool open(StreamId id);
+  /// Routes one arrival to its stream's shard. Returns false iff the op was
+  /// shed under Backpressure::kReject.
+  bool feed(StreamId id, const model::Job& job);
+  /// Advances the stream's horizon to time t.
+  bool advance(StreamId id, double t);
+  /// Ends the stream: its result is finalized by the shard worker and its
+  /// scheduler recycled. Feeding the same id later starts a fresh session.
+  bool close_stream(StreamId id);
+
+  /// Releases workers constructed with start_paused.
+  void resume();
+
+  /// Blocks until every op enqueued so far has been applied.
+  void drain();
+
+  /// Drains, stops the workers, and returns every finalized StreamResult
+  /// sorted by stream id. The engine accepts no traffic afterwards;
+  /// snapshot() keeps working on the final state. Streams never closed
+  /// remain unreported (their live traffic stays in the snapshot tallies).
+  std::vector<StreamResult> finish();
+
+  [[nodiscard]] EngineSnapshot snapshot() const;
+
+ private:
+  struct ShardOp {
+    enum class Kind : std::uint8_t { kOpen, kArrival, kAdvance, kClose };
+    Kind kind = Kind::kArrival;
+    StreamId stream = 0;
+    double time = 0.0;  // kAdvance target
+    model::Job job;     // kArrival payload
+  };
+
+  struct Shard {
+    explicit Shard(const EngineOptions& options)
+        : queue(options.queue_capacity),
+          sessions(options.machine, options.scheduler,
+                   options.record_decisions) {}
+
+    SpscQueue<ShardOp> queue;
+    SessionTable sessions;  // worker-owned after start
+    std::thread worker;
+
+    // Producer-side tallies (atomic so snapshot() can read cross-thread).
+    std::atomic<long long> enqueued{0};
+    std::atomic<long long> queue_rejects{0};
+    std::atomic<long long> full_waits{0};
+
+    // Sleep/wake handshake (see worker_loop for the fence protocol).
+    std::atomic<bool> sleeping{false};
+    std::mutex wake_mutex;
+    std::condition_variable wake_cv;
+
+    // Stats the worker publishes once per batch; guarded by stats_mutex.
+    mutable std::mutex stats_mutex;
+    std::condition_variable drained_cv;  // signaled on every publish
+    ShardSnapshot published;
+  };
+
+  bool enqueue(std::size_t shard_index, ShardOp op);
+  void wake(Shard& shard);
+  void worker_loop(Shard& shard);
+  void stop();
+
+  EngineOptions options_;
+  StreamRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+  bool finished_ = false;
+};
+
+}  // namespace pss::stream

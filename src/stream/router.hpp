@@ -1,0 +1,47 @@
+// Deterministic stream-to-shard routing.
+//
+// A stream id is an opaque 64-bit client key (tenant, connection, queue —
+// whatever the caller multiplexes). The router finalizes it through the
+// splitmix64 mixer so adjacent ids spread evenly, then reduces modulo the
+// shard count. Routing is a pure function of (id, num_shards): the same id
+// always lands on the same shard within a run, which is what pins a
+// stream's arrivals to a single worker and makes per-stream results
+// independent of everything the other shards do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace pss::stream {
+
+/// Client-chosen identity of one job stream (one PD scheduler session).
+using StreamId = std::uint64_t;
+
+class StreamRouter {
+ public:
+  explicit StreamRouter(std::size_t num_shards) : num_shards_(num_shards) {
+    PSS_REQUIRE(num_shards >= 1, "need at least one shard");
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+
+  [[nodiscard]] std::size_t shard_of(StreamId id) const {
+    return static_cast<std::size_t>(mix(id) % num_shards_);
+  }
+
+  /// splitmix64 finalizer (Steele, Lea & Flood) — a bijective avalanche
+  /// mix, so distinct ids cannot collide before the modulo.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::size_t num_shards_;
+};
+
+}  // namespace pss::stream

@@ -1,0 +1,43 @@
+#include "stream/session_table.hpp"
+
+namespace pss::stream {
+
+core::PdScheduler& SessionTable::session(StreamId id) {
+  auto it = open_.find(id);
+  if (it != open_.end()) return *it->second;
+  std::unique_ptr<core::PdScheduler> scheduler;
+  if (!free_.empty()) {
+    scheduler = std::move(free_.back());
+    free_.pop_back();
+  } else {
+    scheduler = std::make_unique<core::PdScheduler>(machine_, options_);
+  }
+  return *open_.emplace(id, std::move(scheduler)).first->second;
+}
+
+void SessionTable::open(StreamId id) { session(id); }
+
+core::ArrivalDecision SessionTable::feed(StreamId id, const model::Job& job) {
+  return session(id).on_arrival(job);
+}
+
+void SessionTable::advance(StreamId id, double t) { session(id).advance_to(t); }
+
+const StreamResult* SessionTable::close(StreamId id) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return nullptr;
+  core::PdScheduler& scheduler = *it->second;
+  StreamResult result;
+  result.id = id;
+  result.counters = scheduler.counters();
+  result.planned_energy = scheduler.planned_energy();
+  if (record_decisions_) result.decisions = scheduler.decisions();
+  completed_.push_back(std::move(result));
+  ++num_closed_;
+  scheduler.reset();
+  free_.push_back(std::move(it->second));
+  open_.erase(it);
+  return &completed_.back();
+}
+
+}  // namespace pss::stream

@@ -1,0 +1,91 @@
+// Session lifecycle for one shard: stream id -> live PdScheduler.
+//
+// A session is one independent run of the online PD algorithm (the paper's
+// scheduler is embarrassingly parallel across instances — nothing is shared
+// between streams). The table opens sessions lazily on first arrival,
+// advances their horizons, and on close finalizes the stream into a
+// StreamResult and parks the scheduler object on a free list for the next
+// stream (PdScheduler::reset() is the reuse entry point, so a long-running
+// shard serving millions of short streams does not churn allocations).
+//
+// Single-threaded by design: each shard worker owns exactly one table.
+// Cross-thread aggregation happens above, in the engine's snapshot path.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "model/job.hpp"
+#include "stream/router.hpp"
+
+namespace pss::stream {
+
+/// Final accounting of one closed stream.
+struct StreamResult {
+  StreamId id = 0;
+  core::PdCounters counters;
+  /// Exact committed plan energy at close (sum of interval P_k).
+  double planned_energy = 0.0;
+  /// Per-arrival decisions in arrival order; captured only when the table
+  /// records decisions (bulk serving keeps this off to bound memory).
+  std::vector<std::pair<model::JobId, core::ArrivalDecision>> decisions;
+};
+
+class SessionTable {
+ public:
+  SessionTable(model::Machine machine, core::PdOptions options,
+               bool record_decisions)
+      : machine_(machine),
+        options_(options),
+        record_decisions_(record_decisions) {}
+
+  /// Opens a session explicitly (idempotent). feed() auto-opens, so this
+  /// exists for callers that want the session to exist before traffic.
+  void open(StreamId id);
+
+  /// Routes one arrival into the stream's scheduler, opening it if needed.
+  core::ArrivalDecision feed(StreamId id, const model::Job& job);
+
+  /// Advances the stream's horizon to time t (opens the session if needed,
+  /// so an idle stream can still track the clock).
+  void advance(StreamId id, double t);
+
+  /// Finalizes the stream into completed() and recycles its scheduler.
+  /// Returns the finalized result, or nullptr if the id has no session.
+  /// The pointer stays valid until take_completed() (completed results
+  /// live in a deque, so later closes never relocate earlier ones).
+  const StreamResult* close(StreamId id);
+
+  [[nodiscard]] std::size_t num_open() const { return open_.size(); }
+  [[nodiscard]] long long num_closed() const { return num_closed_; }
+
+  [[nodiscard]] const std::deque<StreamResult>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] std::vector<StreamResult> take_completed() {
+    std::vector<StreamResult> out(
+        std::make_move_iterator(completed_.begin()),
+        std::make_move_iterator(completed_.end()));
+    completed_.clear();
+    return out;
+  }
+
+ private:
+  core::PdScheduler& session(StreamId id);
+
+  model::Machine machine_;
+  core::PdOptions options_;
+  bool record_decisions_;
+  std::unordered_map<StreamId, std::unique_ptr<core::PdScheduler>> open_;
+  std::vector<std::unique_ptr<core::PdScheduler>> free_;  // reset, reusable
+  std::deque<StreamResult> completed_;  // pointer-stable across closes
+  long long num_closed_ = 0;
+};
+
+}  // namespace pss::stream

@@ -1,0 +1,88 @@
+// Bounded single-producer/single-consumer ring buffer — the per-shard
+// ingestion queue of the stream engine.
+//
+// Exactly one thread may push (the engine's control thread) and exactly one
+// may pop (the shard's worker); under that contract every operation is
+// lock-free and wait-free. The consumer drains in batches so the downstream
+// bookkeeping (stats publication, producer wake) is amortized over many
+// arrivals instead of paid per arrival.
+//
+// Index handshake: the producer publishes `tail_` with release order and the
+// consumer publishes `head_` with release order; each side keeps a cached
+// copy of the other's index and refreshes it (acquire) only when the cache
+// says full/empty — the common case runs on plain loads of its own index.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pss::stream {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (at least 2).
+  explicit SpscQueue(std::size_t capacity) {
+    PSS_REQUIRE(capacity > 0, "queue capacity must be positive");
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves up to `max_items` into `out` (appended), returns
+  /// how many were taken.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head)
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+    std::size_t n = cached_tail_ - head;
+    if (n == 0) return 0;
+    if (n > max_items) n = max_items;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Callable from either side (or a monitor): approximate element count.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer and consumer indices on separate cache lines; each side's
+  // cached view of the other index lives with the owner.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next slot to pop
+  alignas(64) std::size_t cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next slot to push
+  alignas(64) std::size_t cached_head_ = 0;       // producer's view of head_
+};
+
+}  // namespace pss::stream

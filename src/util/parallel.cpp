@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 
 namespace pss::util {
 
@@ -28,6 +30,29 @@ void ThreadPool::submit(std::function<void()> task) {
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+    ++in_flight_;
+  }
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard lock(mutex_);
+    --in_flight_;
+  }
+  cv_idle_.notify_all();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -65,6 +90,41 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool;  // joined at static destruction
+  return pool;
+}
+
+namespace {
+
+// Per-call completion state for parallel_for. Shared (not stack-owned) so a
+// helper task that loses the race with the caller's return path — possible
+// only if the caller rethrows early — never touches freed memory.
+struct ForState {
+  std::atomic<std::size_t> next;
+  std::size_t end;
+  const std::function<void(std::size_t)>* fn;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending_helpers = 0;
+  std::exception_ptr first_error;
+
+  void run_range() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t num_threads) {
@@ -77,27 +137,48 @@ void parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{begin};
-  std::exception_ptr first_error;
-  std::mutex err_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard lock(err_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
+
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+  state->pending_helpers = num_threads - 1;
+
+  ThreadPool& pool = shared_pool();
+  for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+    pool.submit([state] {
+      state->run_range();
+      {
+        std::lock_guard lock(state->mutex);
+        --state->pending_helpers;
       }
+      state->done_cv.notify_one();
     });
   }
-  for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  // The caller always chews through the index space too, so even a fully
+  // saturated pool (or a nested call from inside a pool task) makes
+  // progress; helper tasks then find the range exhausted and finish fast.
+  state->run_range();
+
+  // While our helpers are pending, keep executing *any* queued pool work:
+  // a helper of ours may sit behind tasks whose owners are themselves
+  // blocked waiting on helpers queued behind ours — helping drains the
+  // cycle. The timed wait covers helpers currently running on another
+  // thread.
+  for (;;) {
+    {
+      std::lock_guard lock(state->mutex);
+      if (state->pending_helpers == 0) break;
+    }
+    if (!pool.try_run_one()) {
+      std::unique_lock lock(state->mutex);
+      state->done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                              [&] { return state->pending_helpers == 0; });
+    }
+  }
+  std::lock_guard lock(state->mutex);
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace pss::util

@@ -2,8 +2,15 @@
 //
 // The schedulers themselves are sequential online algorithms; parallelism in
 // this library lives at the sweep level (many independent instances across
-// many cores). A small fixed thread pool plus a blocking parallel_for is all
-// the harness needs, and keeping it dependency-free keeps the build offline.
+// many cores) and, since the stream engine, in long-lived shard workers.
+// A small fixed thread pool plus a blocking parallel_for is all the harness
+// needs, and keeping it dependency-free keeps the build offline.
+//
+// parallel_for runs over a process-wide shared pool (see shared_pool()), so
+// repeated sweep calls reuse the same threads instead of spawning a fresh
+// set per call. Concurrent parallel_for calls are safe: each call tracks
+// completion of its own tasks, and the calling thread always executes work
+// itself, so a saturated pool degrades to serial instead of deadlocking.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +35,12 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
+  /// Runs one queued task on the calling thread, if any is queued. Lets a
+  /// thread that is waiting on pool work help drain the pool instead of
+  /// blocking — the escape hatch that keeps nested parallel_for calls
+  /// deadlock-free even when every pool thread is itself waiting.
+  bool try_run_one();
+
   /// Blocks until all submitted tasks have finished. Rethrows the first
   /// exception raised by any task.
   void wait_idle();
@@ -47,8 +60,16 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Runs fn(i) for i in [begin, end) across the given number of threads
-/// (0 = hardware concurrency). Blocks until done; rethrows task errors.
+/// The process-wide pool parallel_for runs on, created on first use and
+/// sized to hardware concurrency. Long-lived: a sweep harness that calls
+/// parallel_for thousands of times reuses these threads throughout.
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// Runs fn(i) for i in [begin, end) using at most `num_threads` concurrent
+/// workers (0 = hardware concurrency) drawn from shared_pool(), with the
+/// calling thread participating. Blocks until done; rethrows the first task
+/// error. Results must not depend on the partitioning: work is handed out
+/// by a shared atomic index, so any thread may run any i.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t num_threads = 0);

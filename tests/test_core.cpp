@@ -177,6 +177,83 @@ TEST(PdScheduler, LargerDeltaRejectsMore) {
   EXPECT_LE(strict_accepted, loose_accepted);
 }
 
+TEST(PdCounters, AggregationSumsCountsAndMaxesHighWaterMarks) {
+  core::PdCounters a;
+  a.arrivals = 10;
+  a.accepted = 7;
+  a.rejected = 3;
+  a.interval_splits = 2;
+  a.horizon_extensions = 1;
+  a.curve_cache_hits = 100;
+  a.curve_cache_rebuilds = 5;
+  a.max_intervals = 40;
+  a.max_window = 12;
+  core::PdCounters b;
+  b.arrivals = 4;
+  b.accepted = 4;
+  b.curve_cache_hits = 30;
+  b.max_intervals = 25;
+  b.max_window = 30;
+
+  const core::PdCounters sum = a + b;
+  EXPECT_EQ(sum.arrivals, 14);
+  EXPECT_EQ(sum.accepted, 11);
+  EXPECT_EQ(sum.rejected, 3);
+  EXPECT_EQ(sum.interval_splits, 2);
+  EXPECT_EQ(sum.horizon_extensions, 1);
+  EXPECT_EQ(sum.curve_cache_hits, 130);
+  EXPECT_EQ(sum.curve_cache_rebuilds, 5);
+  EXPECT_EQ(sum.max_intervals, 40u);  // high-water marks take the max
+  EXPECT_EQ(sum.max_window, 30u);
+
+  core::PdCounters acc = a;
+  acc += b;
+  EXPECT_EQ(acc.arrivals, sum.arrivals);
+  EXPECT_EQ(acc.max_window, sum.max_window);
+}
+
+TEST(PdScheduler, ResetReproducesAFreshScheduler) {
+  workload::UniformConfig config;
+  config.num_jobs = 40;
+  const auto inst = workload::uniform_random(config, Machine{2, 2.5}, 5);
+  const auto jobs = inst.jobs_by_release();
+
+  core::PdScheduler reused(Machine{2, 2.5});
+  for (const Job& job : jobs) reused.on_arrival(job);
+  const double first_energy = reused.planned_energy();
+  EXPECT_GT(first_energy, 0.0);
+
+  reused.reset();
+  EXPECT_EQ(reused.counters().arrivals, 0);
+  EXPECT_EQ(reused.decisions().size(), 0u);
+  EXPECT_EQ(reused.partition().num_intervals(), 0u);
+
+  core::PdScheduler fresh(Machine{2, 2.5});
+  for (const Job& job : jobs) {
+    const auto a = reused.on_arrival(job);
+    const auto b = fresh.on_arrival(job);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.speed, b.speed);
+    EXPECT_EQ(a.lambda, b.lambda);
+    EXPECT_EQ(a.planned_energy, b.planned_energy);
+  }
+  EXPECT_EQ(reused.planned_energy(), first_energy);
+  EXPECT_EQ(reused.counters().curve_cache_hits,
+            fresh.counters().curve_cache_hits);
+}
+
+TEST(PdScheduler, AdvanceToExtendsHorizonAndClock) {
+  core::PdScheduler pd(Machine{1, 2.0});
+  pd.advance_to(5.0);
+  pd.advance_to(8.0);
+  EXPECT_TRUE(pd.partition().boundaries().size() >= 2);
+  // The clock moved: arrivals released before it are refused.
+  EXPECT_THROW(pd.on_arrival(Job{0, 2.0, 9.0, 1.0, util::kInf}),
+               std::exception);
+  const auto decision = pd.on_arrival(Job{1, 8.0, 12.0, 1.0, util::kInf});
+  EXPECT_TRUE(decision.accepted);
+}
+
 TEST(PdScheduler, MustFinishInstanceAcceptsEverything) {
   workload::UniformConfig config;
   config.num_jobs = 30;

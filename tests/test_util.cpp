@@ -5,6 +5,7 @@
 #include <atomic>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -176,6 +177,45 @@ TEST(Parallel, ThreadPoolRunsTasks) {
   for (int i = 0; i < 100; ++i) pool.submit([&] { count++; });
   pool.wait_idle();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, SharedPoolIsLongLivedAndReused) {
+  util::ThreadPool& first = util::shared_pool();
+  EXPECT_GE(first.size(), 1u);
+  // Back-to-back parallel_for calls must run on the same pool object, not
+  // on freshly spawned threads.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    util::parallel_for(0, 64, [&](std::size_t) { count++; }, 4);
+    EXPECT_EQ(count.load(), 64);
+  }
+  EXPECT_EQ(&util::shared_pool(), &first);
+}
+
+TEST(Parallel, NestedParallelForDoesNotDeadlock) {
+  // A task running on the shared pool may itself call parallel_for; the
+  // caller-participates design must make progress even when every pool
+  // thread is busy.
+  std::atomic<int> inner_total{0};
+  util::parallel_for(
+      0, 8,
+      [&](std::size_t) {
+        util::parallel_for(0, 8, [&](std::size_t) { inner_total++; }, 2);
+      },
+      4);
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(Parallel, ConcurrentParallelForCallsAreIsolated) {
+  // Two threads issuing parallel_for at once share the pool but must each
+  // observe only their own completion (per-call tracking, not wait_idle).
+  std::atomic<int> a{0}, b{0};
+  std::thread other(
+      [&] { util::parallel_for(0, 500, [&](std::size_t) { b++; }, 3); });
+  util::parallel_for(0, 500, [&](std::size_t) { a++; }, 3);
+  other.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 500);
 }
 
 TEST(Parallel, ThreadPoolRethrowsFromWait) {
