@@ -44,6 +44,7 @@ using pss::sim::StreamWorkloadConfig;
 using pss::stream::EngineOptions;
 
 const pss::model::Machine kMachine{4, 2.0};
+constexpr std::uint64_t kBaseSeed = 1000;  // per-stream seeds derive from it
 
 int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
@@ -54,7 +55,7 @@ StreamWorkloadConfig make_config(int num_streams, int jobs_per_stream) {
   StreamWorkloadConfig config;  // dense regime: 50 jobs/tick, spans 8..24
   config.num_streams = num_streams;
   config.jobs_per_stream = jobs_per_stream;
-  config.base_seed = 1000;
+  config.base_seed = kBaseSeed;
   return config;
 }
 
@@ -233,13 +234,13 @@ int main(int argc, char** argv) {
            JsonValue::object()
                .set("processors", JsonValue::integer(kMachine.num_processors))
                .set("alpha", JsonValue::number(kMachine.alpha)))
-      .set("hardware_concurrency",
-           JsonValue::integer((long long)std::thread::hardware_concurrency()))
       .set("jobs_per_stream", JsonValue::integer(jobs_per_stream))
       .set("determinism_match", JsonValue::boolean(determinism_match))
       .set("runs", std::move(runs))
       .set("speedup", std::move(speedups));
-  pss::bench::emit_json(root, "BENCH_shard.json");
+  // hardware_concurrency and the workload seed are stamped uniformly by
+  // emit_json; the seed is StreamWorkloadConfig::base_seed.
+  pss::bench::emit_json(std::move(root), "BENCH_shard.json", kBaseSeed);
 
   if (!determinism_match) return 1;
   return pss::bench::run_benchmarks(argc, argv);

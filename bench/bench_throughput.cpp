@@ -77,10 +77,27 @@ struct RunResult {
   std::vector<std::pair<bool, double>> decisions;  // (accepted, speed)
 };
 
+// The three engines whose perf trajectory the JSON tracks: the stateless
+// contiguous reference, the PR-2 curve-cache fast path on the contiguous
+// backend, and the curve cache on the stable-handle interval store (the
+// default engine since the indexed backend landed).
+struct Engine {
+  const char* name;
+  pss::core::PdOptions options;
+};
+const std::vector<Engine> kEngines = {
+    {"reference", {.delta = {}, .incremental = false, .indexed = false}},
+    {"cached", {.delta = {}, .incremental = true, .indexed = false}},
+    {"indexed", {.delta = {}, .incremental = true, .indexed = true}},
+};
+
+constexpr std::uint64_t kStreamSeed = 42;
+
 RunResult run_engine(const std::vector<pss::model::Job>& jobs,
-                     pss::model::Machine machine, bool incremental) {
+                     pss::model::Machine machine,
+                     pss::core::PdOptions options) {
   using clock = std::chrono::steady_clock;
-  PdScheduler scheduler(machine, {.delta = {}, .incremental = incremental});
+  PdScheduler scheduler(machine, options);
   RunResult result;
   result.decisions.reserve(jobs.size());
   const auto start = clock::now();
@@ -175,31 +192,41 @@ int main(int argc, char** argv) {
   double dense_speedup = 0.0;
 
   for (const Density& density : kDensities) {
-    const auto stream = make_stream(jobs, density, machine.alpha, 42);
-    const RunResult reference = run_engine(stream, machine, false);
-    const RunResult cached = run_engine(stream, machine, true);
-    if (cached.decisions != reference.decisions ||
-        cached.planned_energy != reference.planned_energy) {
-      decisions_match = false;
-      std::cerr << "FATAL: engines disagree on workload '" << density.name
-                << "' — perf numbers void\n";
+    const auto stream = make_stream(jobs, density, machine.alpha, kStreamSeed);
+    const RunResult reference = run_engine(stream, machine,
+                                           kEngines.front().options);
+    add_row(table, runs, density.name, jobs, kEngines.front().name,
+            reference);
+    for (std::size_t e = 1; e < kEngines.size(); ++e) {
+      const RunResult fast = run_engine(stream, machine, kEngines[e].options);
+      if (fast.decisions != reference.decisions ||
+          fast.planned_energy != reference.planned_energy) {
+        decisions_match = false;
+        std::cerr << "FATAL: engine '" << kEngines[e].name
+                  << "' disagrees with the reference on workload '"
+                  << density.name << "' — perf numbers void\n";
+      }
+      add_row(table, runs, density.name, jobs, kEngines[e].name, fast);
+      const double speedup =
+          fast.arrivals_per_sec / reference.arrivals_per_sec;
+      speedups.set(std::string(kEngines[e].name) + "_" + density.name + "_" +
+                       std::to_string(jobs),
+                   JsonValue::number(speedup));
+      if (density.name == "dense" &&
+          std::string(kEngines[e].name) == "indexed")
+        dense_speedup = speedup;
     }
-    add_row(table, runs, density.name, jobs, "reference", reference);
-    add_row(table, runs, density.name, jobs, "cached", cached);
-    const double speedup =
-        cached.arrivals_per_sec / reference.arrivals_per_sec;
-    speedups.set(density.name + "_" + std::to_string(jobs),
-                 JsonValue::number(speedup));
-    if (density.name == "dense") dense_speedup = speedup;
   }
 
   if (scale_jobs > 0) {
-    // Cached-only scaling run: the reference path is too slow at this size.
+    // Fast-path-only scaling runs: the reference path is too slow here.
     const Density& density = kDensities.back();
-    const auto stream = make_stream(scale_jobs, density, machine.alpha, 42);
-    const RunResult cached = run_engine(stream, machine, true);
-    add_row(table, runs, density.name + "-scale", scale_jobs, "cached",
-            cached);
+    const auto stream =
+        make_stream(scale_jobs, density, machine.alpha, kStreamSeed);
+    for (std::size_t e = 1; e < kEngines.size(); ++e)
+      add_row(table, runs, density.name + "-scale", scale_jobs,
+              kEngines[e].name,
+              run_engine(stream, machine, kEngines[e].options));
   }
 
   pss::bench::emit(table, "throughput.csv");
@@ -214,11 +241,12 @@ int main(int argc, char** argv) {
       .set("decisions_match", JsonValue::boolean(decisions_match))
       .set("runs", std::move(runs))
       .set("speedup", std::move(speedups));
-  pss::bench::emit_json(root, "BENCH_throughput.json");
+  pss::bench::emit_json(std::move(root), "BENCH_throughput.json",
+                        kStreamSeed);
 
   if (!decisions_match) return 1;
   std::cout.precision(2);
-  std::cout << "dense " << jobs << "-job speedup: cached is " << std::fixed
+  std::cout << "dense " << jobs << "-job speedup: indexed is " << std::fixed
             << dense_speedup << "x the reference engine\n";
   return pss::bench::run_benchmarks(argc, argv);
 }

@@ -9,12 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -157,8 +159,18 @@ class JsonValue {
   bool bool_ = false;
 };
 
-/// Writes `root` to sim::result_dir()/name and echoes the path.
-inline void emit_json(const JsonValue& root, const std::string& name) {
+/// Writes `root` to sim::result_dir()/name and echoes the path. Every
+/// BENCH_*.json uniformly records the machine's hardware_concurrency (so a
+/// multi-core re-measurement is comparable against numbers taken on a
+/// small box) and the workload seed the driver generated its streams from
+/// (so the exact run is reproducible); the two fields are stamped here
+/// rather than ad hoc per driver.
+inline void emit_json(JsonValue root, const std::string& name,
+                      std::uint64_t workload_seed) {
+  root.set("hardware_concurrency",
+           JsonValue::integer(
+               (long long)std::thread::hardware_concurrency()))
+      .set("workload_seed", JsonValue::integer((long long)workload_seed));
   const std::string path = sim::result_dir() + "/" + name;
   std::ofstream out(path);
   root.write(out);

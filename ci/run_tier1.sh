@@ -44,4 +44,18 @@ else
 fi
 echo "shard-smoke: OK (${BUILD_DIR}/bench_results/BENCH_shard.json)"
 
+# Horizon-scale smoke: small refinement + full-PD run of the interval-store
+# driver. The driver exits nonzero if the indexed and contiguous backends
+# ever produce different boundary sets or decisions, or if the indexed
+# per-insert refinement cost fails the sub-linearity check.
+PSS_HORIZON_MAX_INTERVALS=16384 PSS_HORIZON_CONTIG_MAX=16384 \
+  PSS_HORIZON_PD_MAX_JOBS=10000 PSS_RESULT_DIR=bench_results \
+  ./bench_horizon_scale --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_horizon.json > /dev/null
+else
+  grep -q '"determinism_match": true' bench_results/BENCH_horizon.json
+fi
+echo "horizon-smoke: OK (${BUILD_DIR}/bench_results/BENCH_horizon.json)"
+
 echo "tier-1: OK"

@@ -10,13 +10,34 @@ namespace pss::convex {
 
 namespace {
 
-std::vector<double> other_loads(const model::WorkAssignment& assignment,
-                                std::size_t k, model::JobId ignore_job) {
+std::vector<double> other_loads(const std::vector<model::Load>& all,
+                                model::JobId ignore_job) {
   std::vector<double> loads;
-  loads.reserve(assignment.loads(k).size());
-  for (const model::Load& l : assignment.loads(k))
+  loads.reserve(all.size());
+  for (const model::Load& l : all)
     if (l.job != ignore_job) loads.push_back(l.amount);
   return loads;
+}
+
+std::vector<double> other_loads(const model::WorkAssignment& assignment,
+                                std::size_t k, model::JobId ignore_job) {
+  return other_loads(assignment.loads(k), ignore_job);
+}
+
+// Window-order walk over the store: calls fn(handle, length) for each
+// interval of `window`. Amortized O(1) per step after the O(log n) seek.
+template <typename Fn>
+void for_window(const model::IntervalStore& store, model::IntervalRange window,
+                Fn&& fn) {
+  model::IntervalStore::Handle h = store.handle_at(window.first);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const model::IntervalStore::Handle next = store.next_handle(h);
+    const double end = next == model::IntervalStore::kNoHandle
+                           ? store.back_boundary()
+                           : store.start_of(next);
+    fn(h, end - store.start_of(h));
+    h = next;
+  }
 }
 
 // Shared placement tail of both water-fill entry points. The reference and
@@ -86,6 +107,37 @@ std::optional<Placement> water_fill(const model::WorkAssignment& assignment,
                          });
 }
 
+std::optional<Placement> water_fill(const model::IntervalStore& store,
+                                    int num_processors,
+                                    model::IntervalRange window, double work,
+                                    double max_speed,
+                                    model::JobId ignore_job) {
+  PSS_REQUIRE(window.last <= store.num_intervals(), "window exceeds store");
+  PSS_REQUIRE(window.first < window.last, "empty placement window");
+  PSS_REQUIRE(work > 0.0, "work must be positive");
+  PSS_REQUIRE(max_speed > 0.0, "max speed must be positive");
+
+  std::vector<util::PiecewiseLinear> curves;
+  curves.reserve(window.size());
+  for_window(store, window, [&](model::IntervalStore::Handle h, double len) {
+    curves.push_back(chen::insertion_curve(
+        other_loads(store.loads(h), ignore_job), num_processors, len));
+  });
+  const util::PiecewiseLinear total = util::PiecewiseLinear::sum(curves);
+
+  if (std::isfinite(max_speed) && total.eval(max_speed) < work)
+    return std::nullopt;
+  const std::optional<double> level = total.first_at_least(work);
+  PSS_CHECK(level.has_value(),
+            "unbounded-speed window must absorb any workload");
+  PSS_CHECK(!std::isfinite(max_speed) || *level <= max_speed * (1.0 + 1e-9),
+            "water level exceeded the verified cap");
+  return build_placement(work, *level, curves.size(),
+                         [&](std::size_t i) -> const util::PiecewiseLinear& {
+                           return curves[i];
+                         });
+}
+
 std::optional<Placement> water_fill_over_curves(
     std::span<const util::PiecewiseLinear* const> curves, double work,
     double max_speed) {
@@ -119,6 +171,18 @@ double window_capacity(const model::WorkAssignment& assignment,
     capacity += chen::insertion_amount(loads, num_processors,
                                        partition.length(k), speed);
   }
+  return capacity;
+}
+
+double window_capacity(const model::IntervalStore& store, int num_processors,
+                       model::IntervalRange window, double speed,
+                       model::JobId ignore_job) {
+  double capacity = 0.0;
+  for_window(store, window, [&](model::IntervalStore::Handle h, double len) {
+    std::vector<double> loads = other_loads(store.loads(h), ignore_job);
+    std::sort(loads.begin(), loads.end(), std::greater<>());
+    capacity += chen::insertion_amount(loads, num_processors, len, speed);
+  });
   return capacity;
 }
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "model/interval_store.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
 #include "util/piecewise_linear.hpp"
@@ -42,6 +43,17 @@ struct Placement {
     model::IntervalRange window, double work, double max_speed,
     model::JobId ignore_job = -1);
 
+/// Same reference placement over the indexed interval store (the stateless
+/// path of PdOptions{.indexed = true, .incremental = false} and of the
+/// indexed fractional scheduler). Replicates the contiguous overload's
+/// arithmetic operation for operation — per-interval curves built in window
+/// order from the identical load lists, then the materialized curve sum —
+/// so the two backends stay bitwise decision-identical.
+[[nodiscard]] std::optional<Placement> water_fill(
+    const model::IntervalStore& store, int num_processors,
+    model::IntervalRange window, double work, double max_speed,
+    model::JobId ignore_job = -1);
+
 /// Incremental variant of water_fill over pre-built per-interval insertion
 /// curves (one per window interval, e.g. from core::CurveCache). Inverts
 /// Z(s) through a util::LazyLinearSum view instead of materializing the
@@ -56,6 +68,13 @@ struct Placement {
 /// (the Z(s) above); used by tests and the rejection rule.
 [[nodiscard]] double window_capacity(const model::WorkAssignment& assignment,
                                      const model::TimePartition& partition,
+                                     int num_processors,
+                                     model::IntervalRange window, double speed,
+                                     model::JobId ignore_job = -1);
+
+/// Capacity over the indexed interval store; bitwise-identical summation
+/// order to the contiguous overload.
+[[nodiscard]] double window_capacity(const model::IntervalStore& store,
                                      int num_processors,
                                      model::IntervalRange window, double speed,
                                      model::JobId ignore_job = -1);

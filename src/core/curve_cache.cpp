@@ -7,6 +7,7 @@ namespace pss::core {
 
 void CurveCache::reset(std::size_t num_intervals) {
   entries_.assign(num_intervals, Entry{});
+  handle_entries_.clear();
   scratch_.clear();
   out_.clear();
   stats_ = Stats{};
@@ -63,6 +64,51 @@ std::span<const util::PiecewiseLinear* const> CurveCache::curves_for(
       ++stats_.rebuilds;
     }
     out_.push_back(&entry.curve);
+  }
+  return out_;
+}
+
+std::span<const util::PiecewiseLinear* const> CurveCache::curves_for(
+    const model::IntervalStore& store, int num_processors,
+    model::IntervalRange window, model::JobId ignore_job) {
+  PSS_REQUIRE(window.last <= store.num_intervals(), "window exceeds store");
+  PSS_REQUIRE(window.first < window.last, "empty placement window");
+  if (handle_entries_.size() < store.handle_space())
+    handle_entries_.resize(store.handle_space());
+
+  scratch_.clear();
+  out_.clear();
+  model::IntervalStore::Handle h = store.handle_at(window.first);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const model::IntervalStore::Handle next = store.next_handle(h);
+    const double length =
+        (next == model::IntervalStore::kNoHandle ? store.back_boundary()
+                                                 : store.start_of(next)) -
+        store.start_of(h);
+    if (store.load_of(h, ignore_job) != 0.0) {
+      // Same tainted-curve path as the contiguous variant.
+      if (scratch_.capacity() < window.size())
+        scratch_.reserve(window.size());
+      scratch_.push_back(chen::insertion_curve(store.loads(h), ignore_job,
+                                               num_processors, length));
+      out_.push_back(&scratch_.back());
+      ++stats_.rebuilds;
+    } else {
+      Entry& entry = handle_entries_[h];
+      if (entry.built && entry.epoch == store.epoch(h) &&
+          entry.length == length) {
+        ++stats_.hits;
+      } else {
+        entry.curve = chen::insertion_curve(store.loads(h), ignore_job,
+                                            num_processors, length);
+        entry.epoch = store.epoch(h);
+        entry.length = length;
+        entry.built = true;
+        ++stats_.rebuilds;
+      }
+      out_.push_back(&entry.curve);
+    }
+    h = next;
   }
   return out_;
 }

@@ -5,14 +5,22 @@
 // changes when that interval's own loads change — an arrival dirties the
 // few intervals it places work into and leaves every other curve intact.
 // The cache keeps one built curve per interval and revalidates it against
-// WorkAssignment's per-interval epoch counter, so a stale entry is
-// detected without any explicit invalidation call on the load path.
+// the per-interval epoch counter, so a stale entry is detected without any
+// explicit invalidation call on the load path.
 //
-// Structural refinements of the online partition (Section 3) shift
-// interval indices; the owner mirrors them through on_split / on_append /
-// on_prepend so cached curves stay aligned with their intervals. A
-// prepend, in particular, keeps every previously built curve valid — the
-// entries shift with their epochs.
+// Two keying schemes, matching the two OnlineState backends:
+//   * position-keyed (contiguous backend): structural refinements of the
+//     online partition shift interval indices; the owner mirrors them
+//     through on_split / on_append / on_prepend so cached curves stay
+//     aligned with their intervals. A prepend, in particular, keeps every
+//     previously built curve valid — the entries shift with their epochs.
+//     Each mirroring call is itself an O(n) vector shift.
+//   * handle-keyed (model::IntervalStore backend): entries live in a slab
+//     addressed by the store's stable handles, so no structural mirroring
+//     exists at all. A split allocates a fresh handle (fresh, unbuilt
+//     entry) for the right half and bumps the left half's epoch and
+//     length, which the ordinary hit validation already catches — the
+//     structural cost on the cache drops to O(1).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "model/interval_store.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
 #include "util/piecewise_linear.hpp"
@@ -33,13 +42,15 @@ class CurveCache {
     long long rebuilds = 0;  // curves (re)built from interval loads
   };
 
-  /// Drops everything and resizes to `num_intervals` unbuilt slots.
+  /// Drops everything (both keying schemes) and resizes the position-keyed
+  /// pool to `num_intervals` unbuilt slots.
   void reset(std::size_t num_intervals);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
-  // Structural mirroring of the online partition refinements. Must be
-  // called in lockstep with the matching WorkAssignment mutation.
+  // Structural mirroring of the online partition refinements — contiguous
+  // backend only. Must be called in lockstep with the matching
+  // WorkAssignment mutation. The handle-keyed pool needs no equivalent.
   void on_split(std::size_t k);
   void on_append();
   void on_prepend();
@@ -56,6 +67,14 @@ class CurveCache {
       const model::TimePartition& partition, int num_processors,
       model::IntervalRange window, model::JobId ignore_job = -1);
 
+  /// Handle-keyed variant over the indexed interval store. Same hit
+  /// semantics and identical curve arithmetic; entries are validated by
+  /// (epoch, length) against the store, so refinements between calls need
+  /// no notification. The slab grows lazily with the store's handle space.
+  [[nodiscard]] std::span<const util::PiecewiseLinear* const> curves_for(
+      const model::IntervalStore& store, int num_processors,
+      model::IntervalRange window, model::JobId ignore_job = -1);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
@@ -66,7 +85,8 @@ class CurveCache {
     util::PiecewiseLinear curve;
   };
 
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;         // position-keyed (contiguous backend)
+  std::vector<Entry> handle_entries_;  // handle-keyed (indexed backend)
   std::vector<util::PiecewiseLinear> scratch_;  // ignore_job-tainted curves
   std::vector<const util::PiecewiseLinear*> out_;  // curves_for result buffer
   Stats stats_;

@@ -24,6 +24,7 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
   const model::PowerFunction power(alpha);
 
   OnlineState state;
+  state.indexed = options.indexed;
   FractionalPdResult result;
   result.fraction.assign(instance.num_jobs(), 0.0);
   result.lambda.assign(instance.num_jobs(), 0.0);
@@ -31,15 +32,21 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
   for (const model::Job& job : instance.jobs_by_release()) {
     state.ensure_boundary(job.release);
     state.ensure_boundary(job.deadline);
-    const auto window = state.partition.job_range(job);
+    const auto window = state.indexed
+                            ? state.store.range(job.release, job.deadline)
+                            : state.partition.job_range(job);
     const double s_cap = rejection_speed(job.value, job.work, alpha, delta);
 
     // Work the window absorbs below the marginal price v_j; serve up to w.
     const double capacity =
         std::isfinite(s_cap)
-            ? convex::window_capacity(state.assignment, state.partition,
-                                      machine.num_processors, window, s_cap,
-                                      job.id)
+            ? (state.indexed
+                   ? convex::window_capacity(state.store,
+                                             machine.num_processors, window,
+                                             s_cap, job.id)
+                   : convex::window_capacity(state.assignment, state.partition,
+                                             machine.num_processors, window,
+                                             s_cap, job.id))
             : util::kInf;
     const double target = std::min(job.work, capacity);
     if (target <= 1e-12 * job.work) {
@@ -47,13 +54,24 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
       continue;  // fully unserved
     }
     auto placement =
-        convex::water_fill(state.assignment, state.partition,
-                           machine.num_processors, window, target,
-                           util::kInf, job.id);
+        state.indexed
+            ? convex::water_fill(state.store, machine.num_processors, window,
+                                 target, util::kInf, job.id)
+            : convex::water_fill(state.assignment, state.partition,
+                                 machine.num_processors, window, target,
+                                 util::kInf, job.id);
     PSS_CHECK(placement.has_value(), "fractional placement failed");
-    for (std::size_t i = 0; i < window.size(); ++i)
-      state.assignment.set_load(window.first + i, job.id,
-                                placement->amounts[i]);
+    if (state.indexed) {
+      model::IntervalStore::Handle h = state.store.handle_at(window.first);
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        state.store.set_load(h, job.id, placement->amounts[i]);
+        h = state.store.next_handle(h);
+      }
+    } else {
+      for (std::size_t i = 0; i < window.size(); ++i)
+        state.assignment.set_load(window.first + i, job.id,
+                                  placement->amounts[i]);
+    }
     result.fraction[std::size_t(job.id)] = target / job.work;
     // Full service below the cap fixes lambda at the realized marginal;
     // partial service means the marginal hit the price v_j.
@@ -63,8 +81,10 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
                                                    placement->speed);
   }
 
-  result.partition = state.partition;
-  result.assignment = state.assignment;
+  result.partition = state.indexed ? state.store.snapshot_partition()
+                                   : state.partition;
+  result.assignment = state.indexed ? state.store.snapshot_assignment()
+                                    : state.assignment;
   result.schedule = chen::realize_assignment(
       result.assignment, result.partition, machine.num_processors);
   result.energy = convex::assignment_energy(

@@ -38,6 +38,11 @@ struct FractionalPdOptions {
   /// Pricing parameter; nullopt selects delta = 1 (true marginal-cost
   /// pricing — see the header comment for why this differs from PD).
   std::optional<double> delta;
+  /// Run the online state on the stable-handle model::IntervalStore
+  /// (O(log n) Section-3 refinements) instead of the contiguous reference
+  /// backend. Identical arithmetic either way — the result is bitwise
+  /// equal (tests/test_differential.cpp).
+  bool indexed = true;
 };
 
 struct FractionalPdResult {

@@ -3,11 +3,27 @@
 // assignment whose committed loads split proportionally (Section 3,
 // "Concerning the Time Partitioning"). Used by both the integral PD
 // scheduler and the fractional variant.
+//
+// Two interchangeable backends hold the state:
+//   * contiguous (indexed == false): TimePartition + WorkAssignment, the
+//     reference representation. Every refinement shifts vector tails, so
+//     ensure_boundary is O(n) — kept as the bitwise-identical baseline the
+//     differential suite compares against.
+//   * indexed (indexed == true): model::IntervalStore, an order-statistics
+//     indexed store with stable interval handles and O(log n) refinement.
+//     Caches keyed by handle need no structural mirroring at all — a split
+//     allocates a fresh handle for the right half and bumps epochs, which
+//     the epoch/length validation of CurveCache already detects.
+//
+// Select the backend before the first ensure_boundary and do not switch
+// mid-run; the two backends are alternative owners of the same logical
+// state, not mirrors of each other.
 #pragma once
 
 #include <cstddef>
 
 #include "core/curve_cache.hpp"
+#include "model/interval_store.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
 #include "util/assert.hpp"
@@ -15,17 +31,40 @@
 namespace pss::core {
 
 struct OnlineState {
+  bool indexed = false;  // backend selector; set before first use
+
+  // Contiguous backend (live when !indexed).
   model::TimePartition partition;
   model::WorkAssignment assignment;
+  // Indexed backend (live when indexed).
+  model::IntervalStore store;
+
   long long interval_splits = 0;
   long long horizon_extensions = 0;
 
   /// Makes t a boundary, splitting committed loads proportionally when t
-  /// falls inside an existing interval. When a CurveCache is passed, the
-  /// structural change is mirrored into it so cached insertion curves stay
-  /// aligned with their intervals (set_load-level invalidation is handled
-  /// by WorkAssignment epochs, not here).
+  /// falls inside an existing interval. When a CurveCache is passed on the
+  /// contiguous backend, the structural change is mirrored into it so
+  /// cached insertion curves stay aligned with their intervals
+  /// (set_load-level invalidation is handled by WorkAssignment epochs, not
+  /// here). The indexed backend ignores the cache argument: handle-keyed
+  /// cache entries survive refinements by construction.
   void ensure_boundary(double t, CurveCache* cache = nullptr) {
+    if (indexed) {
+      switch (store.ensure_boundary(t)) {
+        case model::IntervalStore::Refinement::kSplit:
+          ++interval_splits;
+          break;
+        case model::IntervalStore::Refinement::kAppend:
+        case model::IntervalStore::Refinement::kPrepend:
+          ++horizon_extensions;
+          break;
+        case model::IntervalStore::Refinement::kNoop:
+        case model::IntervalStore::Refinement::kBootstrap:
+          break;
+      }
+      return;
+    }
     if (partition.has_boundary(t)) return;
     if (partition.boundaries().size() < 2) {
       partition.insert_boundary(t);
@@ -56,6 +95,10 @@ struct OnlineState {
     }
     PSS_CHECK(assignment.num_intervals() == partition.num_intervals(),
               "assignment drifted from partition");
+  }
+
+  [[nodiscard]] std::size_t num_intervals() const {
+    return indexed ? store.num_intervals() : partition.num_intervals();
   }
 };
 

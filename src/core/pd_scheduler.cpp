@@ -16,10 +16,12 @@ namespace pss::core {
 PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
     : machine_(machine),
       delta_(options.delta.value_or(optimal_delta(machine.alpha))),
-      incremental_(options.incremental) {
+      incremental_(options.incremental),
+      indexed_(options.indexed) {
   PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
   PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
   PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
+  state_.indexed = indexed_;
 }
 
 void PdScheduler::ensure_boundary(double t) {
@@ -38,6 +40,7 @@ void PdScheduler::advance_to(double t) {
 
 void PdScheduler::reset() {
   state_ = OnlineState{};
+  state_.indexed = indexed_;
   cache_.reset(0);
   decisions_.clear();
   counters_ = PdCounters{};
@@ -58,12 +61,21 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
 
   const double alpha = machine_.alpha;
   const model::PowerFunction power(alpha);
-  const auto window = state_.partition.job_range(job);
+  const auto window = indexed_
+                          ? state_.store.range(job.release, job.deadline)
+                          : state_.partition.job_range(job);
   const double s_reject = rejection_speed(job.value, job.work, alpha, delta_);
 
   ArrivalDecision decision;
   std::optional<convex::Placement> placement;
-  if (incremental_) {
+  if (indexed_ && incremental_) {
+    const auto curves = cache_.curves_for(
+        state_.store, machine_.num_processors, window, job.id);
+    placement = convex::water_fill_over_curves(curves, job.work, s_reject);
+  } else if (indexed_) {
+    placement = convex::water_fill(state_.store, machine_.num_processors,
+                                   window, job.work, s_reject, job.id);
+  } else if (incremental_) {
     const auto curves =
         cache_.curves_for(state_.assignment, state_.partition,
                           machine_.num_processors, window, job.id);
@@ -86,9 +98,17 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
     decision.lambda = delta_ * job.work * power.derivative(placement->speed);
     decision.planned_energy =
         job.work * util::pos_pow(placement->speed, alpha - 1.0);
-    for (std::size_t i = 0; i < window.size(); ++i)
-      state_.assignment.set_load(window.first + i, job.id,
-                                 placement->amounts[i]);
+    if (indexed_) {
+      model::IntervalStore::Handle h = state_.store.handle_at(window.first);
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        state_.store.set_load(h, job.id, placement->amounts[i]);
+        h = state_.store.next_handle(h);
+      }
+    } else {
+      for (std::size_t i = 0; i < window.size(); ++i)
+        state_.assignment.set_load(window.first + i, job.id,
+                                   placement->amounts[i]);
+    }
   }
   ++counters_.arrivals;
   (decision.accepted ? counters_.accepted : counters_.rejected) += 1;
@@ -97,20 +117,31 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   counters_.curve_cache_hits = cache_.stats().hits;
   counters_.curve_cache_rebuilds = cache_.stats().rebuilds;
   counters_.max_intervals =
-      std::max(counters_.max_intervals, state_.partition.num_intervals());
+      std::max(counters_.max_intervals, state_.num_intervals());
   counters_.max_window = std::max(counters_.max_window, window.size());
   decisions_.push_back({job.id, decision});
   return decision;
 }
 
 double PdScheduler::planned_energy() const {
+  // Indexed backend: materialize once and reuse the contiguous evaluator —
+  // cold path, and the snapshot loads are bitwise-identical to the
+  // contiguous backend's, so the energy is too.
+  if (indexed_)
+    return convex::assignment_energy(
+        state_.store.snapshot_assignment(), state_.store.snapshot_partition(),
+        machine_.num_processors, machine_.alpha);
   return convex::assignment_energy(state_.assignment, state_.partition,
                                    machine_.num_processors, machine_.alpha);
 }
 
 model::Schedule PdScheduler::final_schedule() const {
-  model::Schedule schedule = chen::realize_assignment(
-      state_.assignment, state_.partition, machine_.num_processors);
+  model::Schedule schedule =
+      indexed_ ? chen::realize_assignment(state_.store.snapshot_assignment(),
+                                          state_.store.snapshot_partition(),
+                                          machine_.num_processors)
+               : chen::realize_assignment(state_.assignment, state_.partition,
+                                          machine_.num_processors);
   for (const auto& [id, decision] : decisions_)
     if (!decision.accepted) schedule.mark_rejected(id);
   return schedule;

@@ -39,6 +39,16 @@ struct PdOptions {
   /// from scratch per arrival — the stateless reference implementation.
   /// Both paths commit bit-identical decisions (tests/test_differential).
   bool incremental = true;
+  /// Keep the online state in the stable-handle model::IntervalStore, so
+  /// every Section-3 refinement (boundary insert, split, append, prepend)
+  /// is O(log n) instead of the contiguous representation's O(n) vector
+  /// shifts — the difference between flat and linearly-degrading
+  /// per-arrival cost at million-interval horizons (bench_horizon_scale).
+  /// false selects the contiguous TimePartition + WorkAssignment backend,
+  /// retained as the reference the differential suite compares against.
+  /// All four {incremental} x {indexed} combinations commit bit-identical
+  /// decisions.
+  bool indexed = true;
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -106,14 +116,25 @@ class PdScheduler {
   /// stream instead of being destroyed and reallocated.
   void reset();
 
+  /// The committed partition / assignment. On the contiguous backend these
+  /// are references to the live state; on the indexed backend (the
+  /// default) each call materializes a fresh snapshot into a member buffer
+  /// — O(n), meant for inspection and end-of-run consumers, not for the
+  /// arrival hot path. A returned reference is invalidated by the next
+  /// call to the same accessor.
   [[nodiscard]] const model::TimePartition& partition() const {
-    return state_.partition;
+    if (!indexed_) return state_.partition;
+    partition_snapshot_ = state_.store.snapshot_partition();
+    return partition_snapshot_;
   }
   [[nodiscard]] const model::WorkAssignment& assignment() const {
-    return state_.assignment;
+    if (!indexed_) return state_.assignment;
+    assignment_snapshot_ = state_.store.snapshot_assignment();
+    return assignment_snapshot_;
   }
   [[nodiscard]] double delta() const { return delta_; }
   [[nodiscard]] bool incremental() const { return incremental_; }
+  [[nodiscard]] bool indexed() const { return indexed_; }
 
   /// Total energy of the committed plan (sum of interval P_k).
   [[nodiscard]] double planned_energy() const;
@@ -135,8 +156,13 @@ class PdScheduler {
   model::Machine machine_;
   double delta_;
   bool incremental_;
+  bool indexed_;
   OnlineState state_;
   CurveCache cache_;
+  // Snapshot buffers backing the partition()/assignment() accessors on the
+  // indexed backend (cold path; see the accessor comment).
+  mutable model::TimePartition partition_snapshot_;
+  mutable model::WorkAssignment assignment_snapshot_;
   std::vector<std::pair<model::JobId, ArrivalDecision>> decisions_;
   PdCounters counters_;
   double last_release_ = -1.0;

@@ -9,7 +9,19 @@
 // ("Concerning the Time Partitioning"): when a new job introduces a boundary
 // in the middle of an existing interval, the interval splits and previously
 // committed work splits proportionally to the sub-lengths (handled by
-// WorkAssignment::refine via the mapping returned from insert_boundary).
+// WorkAssignment::split_interval via the index returned from
+// insert_boundary).
+//
+// Handle vs position. This class only knows *positions*: interval k is
+// "the k-th interval in time order", and every insert_boundary shifts the
+// positions (and the backing vector) of all downstream intervals — O(n)
+// per refinement. The indexed backend (model::IntervalStore) additionally
+// gives every interval a stable *handle* that survives splits, appends and
+// prepends, which is what lets caches keyed by interval identity (the
+// insertion-curve cache, most importantly) ignore refinements entirely and
+// drops the refinement cost to O(log n). This contiguous representation is
+// retained as the bitwise-identical reference path
+// (PdOptions{.indexed = false}).
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,7 @@
 
 // The problem domain: jobs, machines, schedules, cost (Section 2).
 #include "model/instance.hpp"
+#include "model/interval_store.hpp"
 #include "model/power.hpp"
 #include "model/schedule.hpp"
 #include "model/time_partition.hpp"
@@ -55,6 +56,7 @@
 
 // Utilities used throughout the public API (seeded RNG, result tables,
 // piecewise-linear curves, the parallel-for used by experiment sweeps).
+#include "util/order_index.hpp"
 #include "util/parallel.hpp"
 #include "util/piecewise_linear.hpp"
 #include "util/random.hpp"

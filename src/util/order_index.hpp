@@ -1,0 +1,96 @@
+// Order-statistics index over a strictly increasing set of double keys.
+//
+// This is the positional backbone of model::IntervalStore: a balanced
+// binary search tree (a treap with deterministic priorities) whose in-order
+// sequence is the sorted key set, augmented with subtree counts so that
+// rank and select run in O(log n). Nodes live in a slab vector and are
+// addressed by a NodeId that never changes after insertion — an insert
+// anywhere in the key order moves no existing node, which is what gives
+// the interval store its stable handles.
+//
+// Supported operations (n = number of keys):
+//   insert            O(log n) expected   new key anywhere in the order
+//   find / last_leq   O(log n)            exact lookup / predecessor
+//   select / rank     O(log n)            position <-> node translation
+//   next / prev       O(log n) worst,     in-order neighbours; amortized
+//                                         O(1) over a full in-order scan
+//   front / back      O(log n)
+//
+// There is no erase: the interval store only ever refines (splits, appends,
+// prepends), so keys are only added. clear() drops everything at once.
+//
+// Priorities are derived from the node id through the splitmix64 finalizer,
+// so the tree shape is a deterministic function of the insertion sequence —
+// runs are reproducible without any global RNG state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pss::util {
+
+class OrderIndex {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNull = 0xffffffffu;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  /// Drops all keys (slab storage is kept for reuse).
+  void clear() {
+    nodes_.clear();
+    root_ = kNull;
+  }
+
+  /// Inserts a key that must not already be present; returns its stable id.
+  /// Ids are allocated densely: 0, 1, 2, ... in insertion order.
+  NodeId insert(double key);
+
+  /// Id of the node holding exactly `key`, or kNull.
+  [[nodiscard]] NodeId find(double key) const;
+
+  /// Id of the largest key <= `key`, or kNull if every key is greater.
+  [[nodiscard]] NodeId last_leq(double key) const;
+
+  /// Id of the `pos`-th smallest key (0-based); pos must be < size().
+  [[nodiscard]] NodeId select(std::size_t pos) const;
+
+  /// Number of keys strictly smaller than the node's key.
+  [[nodiscard]] std::size_t rank(NodeId id) const;
+
+  /// In-order successor / predecessor, or kNull at the ends.
+  [[nodiscard]] NodeId next(NodeId id) const;
+  [[nodiscard]] NodeId prev(NodeId id) const;
+
+  /// Smallest / largest key's node, or kNull when empty.
+  [[nodiscard]] NodeId front() const;
+  [[nodiscard]] NodeId back() const;
+
+  [[nodiscard]] double key(NodeId id) const { return nodes_[id].key; }
+
+ private:
+  struct Node {
+    double key = 0.0;
+    NodeId left = kNull;
+    NodeId right = kNull;
+    NodeId parent = kNull;
+    std::uint32_t count = 1;  // subtree size
+  };
+
+  [[nodiscard]] std::uint32_t count_of(NodeId id) const {
+    return id == kNull ? 0u : nodes_[id].count;
+  }
+  void pull_count(NodeId id) {
+    nodes_[id].count =
+        1 + count_of(nodes_[id].left) + count_of(nodes_[id].right);
+  }
+  [[nodiscard]] static std::uint64_t priority_of(NodeId id);
+  void rotate_up(NodeId id);  // one rotation moving `id` above its parent
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kNull;
+};
+
+}  // namespace pss::util

@@ -1,29 +1,39 @@
-// Differential harness for the incremental PD engine.
+// Differential harness for the PD engine variants.
 //
-// The curve-cache + lazy-sum fast path must be *decision-identical* to the
-// stateless reference path: same accept/reject bits, and bitwise-equal
-// lambdas, speeds, planned energies, and final-schedule cost, on every
-// instance we can generate. The fast path mirrors the reference arithmetic
-// operation for operation (see util::LazyLinearSum), so the comparisons
-// here are exact EQ, not NEAR — any reordering of floating-point work in a
+// PdOptions selects two independent fast paths: `incremental` (the
+// curve-cache + lazy-sum placement of PR 2) and `indexed` (the
+// stable-handle interval store backend). Every combination must be
+// *decision-identical* to the stateless contiguous reference: same
+// accept/reject bits, and bitwise-equal lambdas, speeds, planned energies,
+// and final-schedule cost, on every instance we can generate. The fast
+// paths mirror the reference arithmetic operation for operation (see
+// util::LazyLinearSum and model::IntervalStore), so the comparisons here
+// are exact EQ, not NEAR — any reordering of floating-point work in a
 // future change will show up as a hard failure, which is the point.
 //
 // Coverage: ~1k seeded instances across uniform, bursty (Poisson heavy
 // tail), tight-laxity, and the adversarial Theorem-3 stream, for
-// alpha in {1.1, 2, 3} x m in {1, 4, 16}.
+// alpha in {1.1, 2, 3} x m in {1, 4, 16}; plus split-heavy long-horizon
+// families (bisection deadlines and heavy-tailed lookahead anchors) that
+// stress the Section-3 refinement machinery, and the fractional scheduler
+// on both backends.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
+#include "core/fractional_pd.hpp"
 #include "core/pd_scheduler.hpp"
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
+#include "util/random.hpp"
 #include "workload/generators.hpp"
 
 namespace pss {
 namespace {
 
+using core::PdOptions;
 using core::PdScheduler;
 using model::Machine;
 
@@ -34,28 +44,74 @@ struct DiffParam {
 
 class PdDifferential : public ::testing::TestWithParam<DiffParam> {};
 
-// Feeds both engines in lockstep and asserts bitwise-identical decisions.
+// The three fast-path variants, each compared against the contiguous
+// stateless reference.
+const struct EngineVariant {
+  const char* name;
+  PdOptions options;
+} kVariants[] = {
+    {"contiguous+cached", {.delta = {}, .incremental = true, .indexed = false}},
+    {"indexed+stateless", {.delta = {}, .incremental = false, .indexed = true}},
+    {"indexed+cached", {.delta = {}, .incremental = true, .indexed = true}},
+};
+
+// Feeds the reference and all variants in lockstep and asserts
+// bitwise-identical decisions.
 void expect_engines_identical(const model::Instance& instance) {
-  PdScheduler reference(instance.machine(),
-                        {.delta = {}, .incremental = false});
-  PdScheduler cached(instance.machine(), {.delta = {}, .incremental = true});
+  PdScheduler reference(
+      instance.machine(),
+      {.delta = {}, .incremental = false, .indexed = false});
+  std::vector<PdScheduler> variants;
+  for (const EngineVariant& v : kVariants)
+    variants.emplace_back(instance.machine(), v.options);
   for (const model::Job& job : instance.jobs_by_release()) {
     const auto a = reference.on_arrival(job);
-    const auto b = cached.on_arrival(job);
-    ASSERT_EQ(a.accepted, b.accepted) << job.to_string();
-    ASSERT_EQ(a.speed, b.speed) << job.to_string();
-    ASSERT_EQ(a.lambda, b.lambda) << job.to_string();
-    ASSERT_EQ(a.planned_energy, b.planned_energy) << job.to_string();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const auto b = variants[i].on_arrival(job);
+      ASSERT_EQ(a.accepted, b.accepted)
+          << kVariants[i].name << " " << job.to_string();
+      ASSERT_EQ(a.speed, b.speed)
+          << kVariants[i].name << " " << job.to_string();
+      ASSERT_EQ(a.lambda, b.lambda)
+          << kVariants[i].name << " " << job.to_string();
+      ASSERT_EQ(a.planned_energy, b.planned_energy)
+          << kVariants[i].name << " " << job.to_string();
+    }
   }
-  ASSERT_EQ(reference.planned_energy(), cached.planned_energy());
   const auto cost_ref = reference.final_schedule().cost(instance);
-  const auto cost_fast = cached.final_schedule().cost(instance);
-  ASSERT_EQ(cost_ref.total(), cost_fast.total());
-  // The fast path must actually have gone through the cache.
-  EXPECT_GT(cached.counters().curve_cache_hits +
-                cached.counters().curve_cache_rebuilds,
-            0);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_EQ(reference.planned_energy(), variants[i].planned_energy())
+        << kVariants[i].name;
+    ASSERT_EQ(cost_ref.total(), variants[i].final_schedule().cost(instance)
+                                    .total())
+        << kVariants[i].name;
+    ASSERT_EQ(reference.counters().interval_splits,
+              variants[i].counters().interval_splits)
+        << kVariants[i].name;
+    // The cached variants must actually have gone through the cache.
+    if (kVariants[i].options.incremental) {
+      EXPECT_GT(variants[i].counters().curve_cache_hits +
+                    variants[i].counters().curve_cache_rebuilds,
+                0)
+          << kVariants[i].name;
+    }
+  }
   EXPECT_EQ(reference.counters().curve_cache_hits, 0);
+}
+
+// The fractional scheduler on both backends, bitwise.
+void expect_fractional_identical(const model::Instance& instance) {
+  const auto contiguous =
+      core::run_fractional_pd(instance, {.delta = {}, .indexed = false});
+  const auto indexed =
+      core::run_fractional_pd(instance, {.delta = {}, .indexed = true});
+  ASSERT_EQ(contiguous.fraction, indexed.fraction);
+  ASSERT_EQ(contiguous.lambda, indexed.lambda);
+  ASSERT_EQ(contiguous.energy, indexed.energy);
+  ASSERT_EQ(contiguous.lost_value, indexed.lost_value);
+  ASSERT_EQ(contiguous.dual_lower_bound, indexed.dual_lower_bound);
+  ASSERT_EQ(contiguous.partition.boundaries(),
+            indexed.partition.boundaries());
 }
 
 constexpr int kSeedsPerFamily = 25;
@@ -112,6 +168,95 @@ TEST_P(PdDifferential, AdversarialTheorem3Instances) {
       expect_engines_identical(inst);
     }
   }
+}
+
+// Split-heavy long-horizon family: every arrival's deadline bisects the
+// existing partition (bit-reversed over a wide horizon), so the stream is
+// nearly all Section-3 splits — the regime the interval store exists for.
+model::Instance bisection_instance(int num_jobs, Machine machine,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  const double horizon = 1 << 14;
+  // Anchor pinning [0, horizon).
+  jobs.push_back({0, 0.0, horizon, 2.0, 20.0});
+  int bits = 1;
+  while ((1 << bits) < num_jobs + 2) ++bits;
+  for (int i = 1; i < num_jobs; ++i) {
+    std::uint32_t r = 0;
+    for (int b = 0; b < bits; ++b) r |= ((std::uint32_t(i) >> b) & 1u)
+                                        << (bits - 1 - b);
+    const double deadline = horizon * double(r) / double(1u << bits);
+    model::Job job;
+    job.id = i;
+    job.release = 0.0;
+    job.deadline = std::max(deadline, 1.0);
+    job.work = rng.uniform(0.5, 2.0);
+    job.value = workload::energy_fair_value(job, machine.alpha) *
+                rng.uniform(0.5, 4.0);
+    jobs.push_back(job);
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+TEST_P(PdDifferential, SplitHeavyBisectionInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < 3; ++seed) {
+    SCOPED_TRACE("bisection seed " + std::to_string(seed));
+    const auto inst = bisection_instance(120, Machine{param.m, param.alpha},
+                                         8000 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+  }
+}
+
+// Heavy-tailed lookahead: releases sweep forward while occasional far
+// deadlines plant boundaries deep into the future, so later short-window
+// arrivals keep splitting behind already-planted boundaries.
+model::Instance lookahead_instance(int num_jobs, Machine machine,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  for (int i = 0; i < num_jobs; ++i) {
+    model::Job job;
+    job.id = i;
+    job.release = double(i) * 0.5;
+    const bool anchor = i % 17 == 0;
+    const double span =
+        anchor ? rng.uniform(50.0, 400.0) : rng.uniform(0.7, 6.0);
+    job.deadline = job.release + span;
+    job.work = rng.uniform(0.3, 2.0);
+    job.value = workload::energy_fair_value(job, machine.alpha) *
+                rng.uniform(0.5, 4.0);
+    jobs.push_back(job);
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+TEST_P(PdDifferential, SplitHeavyLookaheadInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < 3; ++seed) {
+    SCOPED_TRACE("lookahead seed " + std::to_string(seed));
+    const auto inst = lookahead_instance(150, Machine{param.m, param.alpha},
+                                         8100 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+  }
+}
+
+TEST_P(PdDifferential, FractionalBackendsIdentical) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < 5; ++seed) {
+    SCOPED_TRACE("fractional seed " + std::to_string(seed));
+    workload::UniformConfig config;
+    config.num_jobs = 40;
+    config.value_scale = 0.8 + 0.4 * (seed % 4);
+    const auto inst = workload::uniform_random(
+        config, Machine{param.m, param.alpha}, 9000 + std::uint64_t(seed));
+    expect_fractional_identical(inst);
+  }
+  expect_fractional_identical(
+      bisection_instance(100, Machine{param.m, param.alpha}, 9100));
+  expect_fractional_identical(
+      lookahead_instance(120, Machine{param.m, param.alpha}, 9200));
 }
 
 INSTANTIATE_TEST_SUITE_P(
