@@ -47,8 +47,20 @@ void figure3_profiles() {
       {0.0, 0.5}, {0.5, 1.0}, {1.0, 2.0}};
   util::Table t({"interval", "PD speed", "OA speed"});
   for (const auto& [a, b] : windows) {
-    t.add_row({"[" + std::to_string(a) + "," + std::to_string(b) + ")",
-               speed_in(pd.schedule, a, b), speed_in(oa.schedule, a, b)});
+    // Built by appending into a named string rather than a chained
+    // rvalue operator+ expression: GCC 12's optimizer inlines the latter
+    // into char_traits::copy calls it then flags with a spurious
+    // -Wrestrict (overlapping-copy) warning under -O2, which breaks
+    // -DPSS_WERROR=ON builds on that compiler.
+    std::string interval;
+    interval.reserve(32);
+    interval.append("[")
+        .append(std::to_string(a))
+        .append(",")
+        .append(std::to_string(b))
+        .append(")");
+    t.add_row({std::move(interval), speed_in(pd.schedule, a, b),
+               speed_in(oa.schedule, a, b)});
   }
   bench::emit(t, "fig3_profiles.csv");
   std::cout << "PD total energy: " << pd.cost.energy

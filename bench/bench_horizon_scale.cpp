@@ -141,8 +141,13 @@ struct PdRun {
 
 PdRun run_pd_stream(const std::vector<pss::model::Job>& jobs, bool indexed,
                     bool keep_decisions) {
-  PdScheduler scheduler(kMachine,
-                        {.delta = {}, .incremental = true, .indexed = indexed});
+  // windowed pinned off: this driver's committed baseline measures the
+  // refinement machinery itself; the screen is bench_window_scale's
+  // subject.
+  PdScheduler scheduler(kMachine, {.delta = {},
+                                   .incremental = true,
+                                   .indexed = indexed,
+                                   .windowed = false});
   PdRun run;
   if (keep_decisions) run.decisions.reserve(jobs.size());
   const auto start = clock_type::now();

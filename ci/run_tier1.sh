@@ -11,6 +11,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
 BUILD_DIR="${1:-build-ci}"
 
 rm -rf "${BUILD_DIR}"
@@ -57,5 +58,31 @@ else
   grep -q '"determinism_match": true' bench_results/BENCH_horizon.json
 fi
 echo "horizon-smoke: OK (${BUILD_DIR}/bench_results/BENCH_horizon.json)"
+
+# Window-scale smoke: small widths through the segment-tree screen. The
+# driver exits nonzero if the windowed and linear engines ever disagree,
+# if the screen never certifies a rejection, or if windowed probe cost
+# fails the sub-linearity check.
+PSS_WINDOW_MAX_WIDTH=4096 PSS_WINDOW_LINEAR_MAX=4096 PSS_WINDOW_PROBES=48 \
+  PSS_RESULT_DIR=bench_results \
+  ./bench_window_scale --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_window.json > /dev/null
+else
+  grep -q '"determinism_match": true' bench_results/BENCH_window.json
+fi
+echo "window-smoke: OK (${BUILD_DIR}/bench_results/BENCH_window.json)"
+
+# Docs-consistency gate: every BENCH_*.json a smoke stage emitted must
+# have its schema documented in docs/BUILDING.md — a new bench artifact
+# cannot land without its format being written down.
+for artifact in bench_results/BENCH_*.json; do
+  name="$(basename "${artifact}")"
+  if ! grep -q "${name}" "${ROOT}/docs/BUILDING.md"; then
+    echo "FATAL: ${name} is emitted but its schema is not documented in docs/BUILDING.md" >&2
+    exit 1
+  fi
+done
+echo "docs-consistency: OK (all emitted BENCH_*.json schemas documented)"
 
 echo "tier-1: OK"

@@ -1,0 +1,379 @@
+#include "convex/curve_segment_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pss::convex {
+
+namespace {
+
+// Relative slack applied at every combine so that floating-point rounding
+// can never push a bound across the true value. Compounds to ~4e-11 over
+// the ~40 levels of a million-node treap — far below the query slack.
+constexpr double kCombineSlack = 1e-12;
+// Final widening of a query's accumulated bounds. Chosen to dominate both
+// the combine-slack compounding and the *reference path's* own summation
+// rounding (a window-order sum of w terms is within ~w*eps relative of the
+// exact value; w <= 1M gives ~1e-10, leaving two orders of margin). A
+// decision certified under these bounds is therefore a decision the exact
+// linear scan would also take.
+constexpr double kQuerySlack = 1e-8;
+
+}  // namespace
+
+std::size_t CurveSegmentTree::Summary::cell_of(double px) const {
+  // Largest knot index i with x(i) <= px (px >= 0 == x(0) always).
+  std::size_t lo = 0, hi = size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (x(mid) <= px)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double CurveSegmentTree::Summary::point_lo(double px) const {
+  // No zero-clamp here even though curve sums are nonnegative: clamping
+  // would make the envelope convex-kinked between knots, and the merge's
+  // losslessness rests on it being linear there. Queries clamp instead.
+  const std::size_t i = cell_of(px);
+  if (i + 1 == size()) return lo(i) + tail_lo * (px - x(i));
+  if (px == x(i)) return lo(i);
+  const double t = (px - x(i)) / (x(i + 1) - x(i));
+  return lo(i) + t * (lo(i + 1) - lo(i));
+}
+
+double CurveSegmentTree::Summary::point_hi(double px) const {
+  const std::size_t i = cell_of(px);
+  if (i + 1 == size()) return hi(i) + tail_hi * (px - x(i));
+  if (px == x(i)) return hi(i);
+  const double t = (px - x(i)) / (x(i + 1) - x(i));
+  return hi(i) + t * (hi(i + 1) - hi(i));
+}
+
+std::uint64_t CurveSegmentTree::priority_of(Handle h) {
+  // Deterministic balanced shape from the dense handle ids, as in
+  // util::OrderIndex.
+  return util::splitmix64(h);
+}
+
+void CurveSegmentTree::clear() {
+  nodes_.clear();
+  root_ = kNull;
+  synced_handles_ = 0;
+  stats_ = Stats{};
+}
+
+void CurveSegmentTree::mark_dirty(Handle h) {
+  // A handle the tree has not absorbed yet will be inserted stale on the
+  // next query, so an early mark needs no record.
+  if (std::size_t(h) >= nodes_.size()) return;
+  nodes_[h].self_stale = true;
+  for (Handle cur = h; cur != kNull; cur = nodes_[cur].parent) {
+    if (nodes_[cur].stale) break;  // invariant: stale implies stale ancestors
+    nodes_[cur].stale = true;
+  }
+}
+
+void CurveSegmentTree::rotate_up(Handle h) {
+  const Handle p = nodes_[h].parent;
+  const Handle g = nodes_[p].parent;
+  if (nodes_[p].left == h) {
+    nodes_[p].left = nodes_[h].right;
+    if (nodes_[h].right != kNull) nodes_[nodes_[h].right].parent = p;
+    nodes_[h].right = p;
+  } else {
+    nodes_[p].right = nodes_[h].left;
+    if (nodes_[h].left != kNull) nodes_[nodes_[h].left].parent = p;
+    nodes_[h].left = p;
+  }
+  nodes_[p].parent = h;
+  nodes_[h].parent = g;
+  if (g == kNull)
+    root_ = h;
+  else if (nodes_[g].left == p)
+    nodes_[g].left = h;
+  else
+    nodes_[g].right = h;
+  // Both rotated nodes changed children; their summaries must recombine.
+  nodes_[p].stale = true;
+  nodes_[h].stale = true;
+}
+
+void CurveSegmentTree::insert_node(Handle h, double key) {
+  PSS_REQUIRE(std::size_t(h) == nodes_.size(),
+              "handles must be absorbed in allocation order");
+  Node node;
+  node.key = key;
+  if (root_ == kNull) {
+    nodes_.push_back(node);
+    root_ = h;
+    return;
+  }
+  Handle cur = root_;
+  while (true) {
+    PSS_REQUIRE(key != nodes_[cur].key, "duplicate interval start");
+    Handle& child =
+        key < nodes_[cur].key ? nodes_[cur].left : nodes_[cur].right;
+    if (child == kNull) {
+      child = h;
+      node.parent = cur;
+      nodes_.push_back(node);
+      break;
+    }
+    cur = child;
+  }
+  // The whole insertion path gains a new descendant: mark it stale without
+  // the early exit, so the stale-implies-stale-ancestors invariant that
+  // mark_dirty's early exit relies on survives the rotations below.
+  for (Handle p = cur; p != kNull; p = nodes_[p].parent)
+    nodes_[p].stale = true;
+  const std::uint64_t prio = priority_of(h);
+  while (nodes_[h].parent != kNull && priority_of(nodes_[h].parent) < prio)
+    rotate_up(h);
+}
+
+void CurveSegmentTree::absorb_new_handles(const model::IntervalStore& store) {
+  const std::size_t space = store.handle_space();
+  while (synced_handles_ < space) {
+    const Handle h = Handle(synced_handles_++);
+    const double key = store.start_of(h);
+    insert_node(h, key);
+    // If this handle came from a split, its in-order predecessor is the
+    // left half: same handle as before, new length and divided loads, and
+    // no notification fires for it. Dirty the predecessor unconditionally;
+    // for appends/prepends that merely recombines one clean interval.
+    Handle cur = root_;
+    Handle pred = kNull;
+    while (cur != kNull) {
+      if (nodes_[cur].key < key) {
+        pred = cur;
+        cur = nodes_[cur].right;
+      } else {
+        cur = nodes_[cur].left;
+      }
+    }
+    if (pred != kNull) mark_dirty(pred);
+    ++stats_.nodes_absorbed;
+  }
+}
+
+void CurveSegmentTree::compress(Summary& s) {
+  const std::size_t count = s.size();
+  if (count <= kMaxKnots) return;
+  // Kept knots balanced by lower-envelope increase (first and last always
+  // kept), so value-flat stretches collapse into single cells.
+  std::size_t kept[kMaxKnots];
+  std::size_t nk = 0;
+  kept[nk++] = 0;
+  const double range = s.lo(count - 1) - s.lo(0);
+  const double step = range > 0.0
+                          ? range / double(kMaxKnots - 1)
+                          : std::numeric_limits<double>::infinity();
+  double next_target = s.lo(0) + step;
+  for (std::size_t i = 1; i + 1 < count && nk + 1 < kMaxKnots; ++i) {
+    if (s.lo(i) >= next_target) {
+      kept[nk++] = i;
+      next_target = s.lo(i) + step;
+    }
+  }
+  kept[nk++] = count - 1;
+
+  // Per kept cell, the chord's worst deficiency against the old envelope
+  // at the dropped knots (piecewise-linear differences are extremal at
+  // knots). Folding each knot's adjacent-cell deficiencies into the knot
+  // value keeps the envelopes continuous, which is what makes the next
+  // merge lossless: the new lower segment through two lowered knots lies
+  // under the old chord minus its cell deficiency, hence under the old
+  // envelope — and symmetrically for the upper one.
+  double def_lo[kMaxKnots] = {0.0};
+  double def_hi[kMaxKnots] = {0.0};
+  for (std::size_t c = 0; c + 1 < nk; ++c) {
+    const std::size_t i = kept[c];
+    const std::size_t e = kept[c + 1];
+    const double x0 = s.x(i), x1 = s.x(e);
+    const double lo0 = s.lo(i), lo1 = s.lo(e);
+    const double hi0 = s.hi(i), hi1 = s.hi(e);
+    double dlo = 0.0, dhi = 0.0;
+    for (std::size_t j = i + 1; j < e; ++j) {
+      const double t = (s.x(j) - x0) / (x1 - x0);
+      dlo = std::max(dlo, (lo0 + t * (lo1 - lo0)) - s.lo(j));
+      dhi = std::max(dhi, s.hi(j) - (hi0 + t * (hi1 - hi0)));
+    }
+    def_lo[c] = dlo;
+    def_hi[c] = dhi;
+  }
+
+  std::vector<double>& packed = scratch_packed_;
+  packed.clear();
+  packed.reserve(3 * nk);
+  for (std::size_t c = 0; c < nk; ++c) {
+    const std::size_t i = kept[c];
+    const double mlo = std::max(c > 0 ? def_lo[c - 1] : 0.0,
+                                c + 1 < nk ? def_lo[c] : 0.0);
+    const double mhi = std::max(c > 0 ? def_hi[c - 1] : 0.0,
+                                c + 1 < nk ? def_hi[c] : 0.0);
+    packed.insert(packed.end(),
+                  {s.x(i), s.lo(i) - mlo, s.hi(i) + mhi});
+  }
+  s.knots.swap(packed);
+}
+
+void CurveSegmentTree::combine(const Summary* a, const Summary& self,
+                               const Summary* b, Summary& out) {
+  const Summary* parts[3] = {a, &self, b};
+  scratch_xs_.clear();
+  for (const Summary* part : parts)
+    if (part)
+      for (std::size_t i = 0; i < part->size(); ++i)
+        scratch_xs_.push_back(part->x(i));
+  std::sort(scratch_xs_.begin(), scratch_xs_.end());
+  scratch_xs_.erase(std::unique(scratch_xs_.begin(), scratch_xs_.end()),
+                    scratch_xs_.end());
+
+  // Merge: every part's envelope is linear between union knots, so
+  // summing the evaluations at the union knots is lossless — width is
+  // added only by compress().
+  out.knots.clear();
+  out.knots.reserve(3 * scratch_xs_.size());
+  for (const double u : scratch_xs_) {
+    double lo = 0.0, hi = 0.0;
+    for (const Summary* part : parts) {
+      if (!part) continue;
+      lo += part->point_lo(u);
+      hi += part->point_hi(u);
+    }
+    lo *= 1.0 - kCombineSlack;
+    hi *= 1.0 + kCombineSlack;
+    out.knots.insert(out.knots.end(), {u, lo, hi});
+  }
+  compress(out);
+
+  double tail_lo = self.tail_lo;
+  double tail_hi = self.tail_hi;
+  if (a) {
+    tail_lo += a->tail_lo;
+    tail_hi += a->tail_hi;
+  }
+  if (b) {
+    tail_lo += b->tail_lo;
+    tail_hi += b->tail_hi;
+  }
+  out.tail_lo = tail_lo * (1.0 - kCombineSlack);
+  out.tail_hi = tail_hi * (1.0 + kCombineSlack);
+}
+
+void CurveSegmentTree::pull(Handle h, const model::IntervalStore& store,
+                            const CurveFn& curve_of) {
+  Node& n = nodes_[h];
+  if (!n.stale) return;
+  if (n.left != kNull) pull(n.left, store, curve_of);
+  if (n.right != kNull) pull(n.right, store, curve_of);
+  if (n.self_stale) {
+    // Rebuild the interval's own compressed summary from its exact curve;
+    // ancestors recombining over an unchanged interval reuse the stored
+    // one, which is what keeps a wide flush cheap.
+    const util::PiecewiseLinear& curve = curve_of(h);
+    n.self.knots.clear();
+    for (const util::PiecewiseLinear::Knot& k : curve.knots())
+      n.self.knots.insert(n.self.knots.end(), {k.x, k.y, k.y});
+    n.self.tail_lo = n.self.tail_hi = curve.final_slope();
+    compress(n.self);
+    n.self_stale = false;
+  }
+  const Summary* left = n.left != kNull ? &nodes_[n.left].agg : nullptr;
+  const Summary* right = n.right != kNull ? &nodes_[n.right].agg : nullptr;
+  combine(left, n.self, right, n.agg);
+  n.stale = false;
+  ++stats_.node_pulls;
+}
+
+void CurveSegmentTree::accumulate_exact(Handle h, double speed,
+                                        const CurveFn& curve_of, double& lo,
+                                        double& hi) {
+  const double z = curve_of(h).eval(speed);
+  lo += z;
+  hi += z;
+}
+
+void CurveSegmentTree::accumulate_subtree(Handle h, double speed, double& lo,
+                                          double& hi) {
+  if (h == kNull) return;
+  const Summary& agg = nodes_[h].agg;
+  // Clamping is valid here (the subtree's true sum is nonnegative, and
+  // query contributions are only ever added, never interpolated over).
+  lo += std::max(0.0, agg.point_lo(speed));
+  hi += agg.point_hi(speed);
+}
+
+void CurveSegmentTree::accumulate_ge(Handle h, double klo, double speed,
+                                     const CurveFn& curve_of, double& lo,
+                                     double& hi) {
+  while (h != kNull) {
+    if (nodes_[h].key >= klo) {
+      accumulate_exact(h, speed, curve_of, lo, hi);
+      accumulate_subtree(nodes_[h].right, speed, lo, hi);
+      h = nodes_[h].left;
+    } else {
+      h = nodes_[h].right;
+    }
+  }
+}
+
+void CurveSegmentTree::accumulate_le(Handle h, double khi, double speed,
+                                     const CurveFn& curve_of, double& lo,
+                                     double& hi) {
+  while (h != kNull) {
+    if (nodes_[h].key <= khi) {
+      accumulate_exact(h, speed, curve_of, lo, hi);
+      accumulate_subtree(nodes_[h].left, speed, lo, hi);
+      h = nodes_[h].right;
+    } else {
+      h = nodes_[h].left;
+    }
+  }
+}
+
+void CurveSegmentTree::accumulate(Handle h, double klo, double khi,
+                                  double speed, const CurveFn& curve_of,
+                                  double& lo, double& hi) {
+  while (h != kNull) {
+    if (nodes_[h].key < klo) {
+      h = nodes_[h].right;
+    } else if (nodes_[h].key > khi) {
+      h = nodes_[h].left;
+    } else {
+      // Split node: itself in range, the range continues into both sides.
+      accumulate_exact(h, speed, curve_of, lo, hi);
+      accumulate_ge(nodes_[h].left, klo, speed, curve_of, lo, hi);
+      accumulate_le(nodes_[h].right, khi, speed, curve_of, lo, hi);
+      return;
+    }
+  }
+}
+
+CapacityBounds CurveSegmentTree::window_capacity_bounds(
+    const model::IntervalStore& store, model::IntervalRange window,
+    double speed, const CurveFn& curve_of) {
+  PSS_REQUIRE(window.first < window.last, "empty placement window");
+  PSS_REQUIRE(window.last <= store.num_intervals(), "window exceeds store");
+  PSS_REQUIRE(speed > 0.0, "speed must be positive");
+  absorb_new_handles(store);
+  PSS_CHECK(nodes_.size() == store.num_intervals(),
+            "segment tree drifted from store");
+  if (nodes_[root_].stale) pull(root_, store, curve_of);
+  const double klo = nodes_[store.handle_at(window.first)].key;
+  const double khi = nodes_[store.handle_at(window.last - 1)].key;
+  double lo = 0.0, hi = 0.0;
+  accumulate(root_, klo, khi, speed, curve_of, lo, hi);
+  ++stats_.queries;
+  return {std::max(0.0, lo * (1.0 - kQuerySlack)),
+          hi * (1.0 + kQuerySlack)};
+}
+
+}  // namespace pss::convex

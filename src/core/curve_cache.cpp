@@ -10,7 +10,41 @@ void CurveCache::reset(std::size_t num_intervals) {
   handle_entries_.clear();
   scratch_.clear();
   out_.clear();
+  tree_.clear();
   stats_ = Stats{};
+}
+
+const util::PiecewiseLinear& CurveCache::validated_curve(
+    const model::IntervalStore& store, int num_processors,
+    model::IntervalStore::Handle h) {
+  if (handle_entries_.size() < store.handle_space())
+    handle_entries_.resize(store.handle_space());
+  Entry& entry = handle_entries_[h];
+  const double length = store.length_of(h);
+  if (entry.built && entry.epoch == store.epoch(h) &&
+      entry.length == length) {
+    ++stats_.hits;
+  } else {
+    entry.curve =
+        chen::insertion_curve(store.loads(h), -1, num_processors, length);
+    entry.epoch = store.epoch(h);
+    entry.length = length;
+    entry.built = true;
+    ++stats_.rebuilds;
+  }
+  return entry.curve;
+}
+
+convex::CapacityBounds CurveCache::window_capacity_bounds(
+    const model::IntervalStore& store, int num_processors,
+    model::IntervalRange window, double speed) {
+  tree_store_ = &store;
+  tree_procs_ = num_processors;
+  return tree_.window_capacity_bounds(
+      store, window, speed,
+      [this](model::IntervalStore::Handle h) -> const util::PiecewiseLinear& {
+        return validated_curve(*tree_store_, tree_procs_, h);
+      });
 }
 
 void CurveCache::on_split(std::size_t k) {

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "convex/curve_segment_tree.hpp"
 #include "model/interval_store.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
@@ -77,6 +78,42 @@ class CurveCache {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // -- windowed screening (convex::CurveSegmentTree, indexed backend) ------
+  //
+  // The cache owns the segment tree over per-interval insertion curves and
+  // is the contract point for keeping it honest: schedulers report every
+  // committed load change through note_load_changed, structural
+  // refinements are discovered lazily from the store's handle space, and
+  // tree leaves are built through the same epoch-validated entries that
+  // curves_for serves (so a leaf rebuild warms the cache and vice versa).
+
+  /// Certified bounds on sum_{k in window} z_k(speed) over the store's
+  /// intervals — the screening query behind PdOptions::windowed. The
+  /// bounds describe the *all-loads* curves: a caller excluding a job must
+  /// ensure that job holds no load in the window (true for any job id
+  /// never accepted before, which the schedulers track).
+  [[nodiscard]] convex::CapacityBounds window_capacity_bounds(
+      const model::IntervalStore& store, int num_processors,
+      model::IntervalRange window, double speed);
+
+  /// Reports a committed load change on interval `h` so the tree's
+  /// summaries recombine before the next screening query. Must follow
+  /// every IntervalStore::set_load when the windowed screen is in use.
+  void note_load_changed(model::IntervalStore::Handle h) {
+    tree_.mark_dirty(h);
+  }
+
+  /// The all-loads insertion curve for `h`, served from the handle-keyed
+  /// entry pool with the usual (epoch, length) validation. Shared by the
+  /// tree's leaf builds and exact boundary evaluations.
+  [[nodiscard]] const util::PiecewiseLinear& validated_curve(
+      const model::IntervalStore& store, int num_processors,
+      model::IntervalStore::Handle h);
+
+  [[nodiscard]] const convex::CurveSegmentTree& segment_tree() const {
+    return tree_;
+  }
+
  private:
   struct Entry {
     bool built = false;
@@ -89,6 +126,11 @@ class CurveCache {
   std::vector<Entry> handle_entries_;  // handle-keyed (indexed backend)
   std::vector<util::PiecewiseLinear> scratch_;  // ignore_job-tainted curves
   std::vector<const util::PiecewiseLinear*> out_;  // curves_for result buffer
+  convex::CurveSegmentTree tree_;  // windowed screening summaries
+  // Query-scoped context for the tree's curve callback (kept as members so
+  // the lambda captures only `this` and stays heap-free).
+  const model::IntervalStore* tree_store_ = nullptr;
+  int tree_procs_ = 0;
   Stats stats_;
 };
 

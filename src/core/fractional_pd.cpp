@@ -25,6 +25,11 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
 
   OnlineState state;
   state.indexed = options.indexed;
+  // Windowed screening state (see FractionalPdOptions::windowed). Jobs are
+  // processed once each with instance-unique ids, so the all-loads bounds
+  // always describe the arriving job's exclusion view exactly.
+  const bool windowed = options.windowed && options.indexed;
+  CurveCache cache;
   FractionalPdResult result;
   result.fraction.assign(instance.num_jobs(), 0.0);
   result.lambda.assign(instance.num_jobs(), 0.0);
@@ -37,17 +42,44 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
                             : state.partition.job_range(job);
     const double s_cap = rejection_speed(job.value, job.work, alpha, delta);
 
+    // Certified shortcuts off the segment-tree bounds; anything
+    // inconclusive computes the capacity with the exact reference scan.
+    // A zero-value job has s_cap == 0 (finite): skip the screen — the
+    // tree requires a positive speed — and let the exact scan return its
+    // zero capacity as on the unscreened engine.
+    bool full_certified = false;
+    if (windowed && std::isfinite(s_cap) && s_cap > 0.0) {
+      const convex::CapacityBounds bounds = cache.window_capacity_bounds(
+          state.store, machine.num_processors, window, s_cap);
+      if (bounds.hi <= 1e-12 * job.work) {
+        // capacity <= hi, so min(work, capacity) is below the dust
+        // threshold — the fully-unserved branch, without the scan.
+        ++result.window_prunes;
+        result.lambda[std::size_t(job.id)] = job.value;
+        continue;
+      }
+      if (bounds.lo >= job.work) {
+        // capacity >= work, so min(work, capacity) == work bitwise.
+        full_certified = true;
+        ++result.window_prunes;
+      } else {
+        ++result.window_exact;
+      }
+    } else if (windowed) {
+      ++result.window_exact;
+    }
+
     // Work the window absorbs below the marginal price v_j; serve up to w.
     const double capacity =
-        std::isfinite(s_cap)
-            ? (state.indexed
+        full_certified || !std::isfinite(s_cap)
+            ? util::kInf
+            : (state.indexed
                    ? convex::window_capacity(state.store,
                                              machine.num_processors, window,
                                              s_cap, job.id)
                    : convex::window_capacity(state.assignment, state.partition,
                                              machine.num_processors, window,
-                                             s_cap, job.id))
-            : util::kInf;
+                                             s_cap, job.id));
     const double target = std::min(job.work, capacity);
     if (target <= 1e-12 * job.work) {
       result.lambda[std::size_t(job.id)] = job.value;
@@ -65,6 +97,7 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
       model::IntervalStore::Handle h = state.store.handle_at(window.first);
       for (std::size_t i = 0; i < window.size(); ++i) {
         state.store.set_load(h, job.id, placement->amounts[i]);
+        if (windowed) cache.note_load_changed(h);
         h = state.store.next_handle(h);
       }
     } else {

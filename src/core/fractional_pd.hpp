@@ -43,6 +43,14 @@ struct FractionalPdOptions {
   /// backend. Identical arithmetic either way — the result is bitwise
   /// equal (tests/test_differential.cpp).
   bool indexed = true;
+  /// Screen arrivals through the convex::CurveSegmentTree capacity bounds
+  /// (indexed backend only; inert otherwise). Two certified shortcuts,
+  /// both bitwise identical to the unscreened run: a window whose upper
+  /// capacity bound is below the dust threshold is fully unserved without
+  /// scanning it, and one whose lower bound covers the whole workload is
+  /// fully served with target = work without computing the exact capacity.
+  /// Partial service (the inconclusive band) always takes the exact scan.
+  bool windowed = true;
 };
 
 struct FractionalPdResult {
@@ -54,6 +62,8 @@ struct FractionalPdResult {
   double energy = 0.0;
   double lost_value = 0.0;       // sum over jobs of (1 - f_j) * v_j
   double dual_lower_bound = 0.0; // g(lambda) — bound on the relaxed optimum
+  long long window_prunes = 0;   // decisions certified by the segment tree
+  long long window_exact = 0;    // windowed arrivals that scanned exactly
 
   [[nodiscard]] double total_cost() const { return energy + lost_value; }
 };

@@ -17,7 +17,8 @@ PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
     : machine_(machine),
       delta_(options.delta.value_or(optimal_delta(machine.alpha))),
       incremental_(options.incremental),
-      indexed_(options.indexed) {
+      indexed_(options.indexed),
+      windowed_(options.windowed && options.indexed) {
   PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
   PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
   PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
@@ -42,6 +43,7 @@ void PdScheduler::reset() {
   state_ = OnlineState{};
   state_.indexed = indexed_;
   cache_.reset(0);
+  accepted_ids_.clear();
   decisions_.clear();
   counters_ = PdCounters{};
   last_release_ = -1.0;
@@ -66,9 +68,34 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
                           : state_.partition.job_range(job);
   const double s_reject = rejection_speed(job.value, job.work, alpha, delta_);
 
+  // Windowed screen: certified capacity bounds from the segment tree. A
+  // certified rejection skips the O(window) scan entirely; anything
+  // inconclusive (or a re-arriving accepted id, whose committed loads the
+  // all-loads bounds cannot exclude) falls through to the exact reference
+  // arithmetic below, so the decision stream is bitwise independent of
+  // `windowed`.
+  // s_reject > 0 also keeps a zero-value job (s_reject == 0, finite) off
+  // the screen, preserving the exact path's behavior for it verbatim.
+  bool screened_reject = false;
+  if (windowed_ && std::isfinite(s_reject) && s_reject > 0.0 &&
+      accepted_ids_.find(job.id) == accepted_ids_.end()) {
+    const convex::CapacityBounds bounds = cache_.window_capacity_bounds(
+        state_.store, machine_.num_processors, window, s_reject);
+    if (bounds.hi < job.work) {
+      screened_reject = true;
+      ++counters_.window_prunes;
+    } else {
+      ++counters_.window_exact;
+    }
+  } else if (windowed_) {
+    ++counters_.window_exact;
+  }
+
   ArrivalDecision decision;
   std::optional<convex::Placement> placement;
-  if (indexed_ && incremental_) {
+  if (screened_reject) {
+    placement = std::nullopt;
+  } else if (indexed_ && incremental_) {
     const auto curves = cache_.curves_for(
         state_.store, machine_.num_processors, window, job.id);
     placement = convex::water_fill_over_curves(curves, job.work, s_reject);
@@ -102,8 +129,10 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
       model::IntervalStore::Handle h = state_.store.handle_at(window.first);
       for (std::size_t i = 0; i < window.size(); ++i) {
         state_.store.set_load(h, job.id, placement->amounts[i]);
+        if (windowed_) cache_.note_load_changed(h);
         h = state_.store.next_handle(h);
       }
+      if (windowed_) accepted_ids_.insert(job.id);
     } else {
       for (std::size_t i = 0; i < window.size(); ++i)
         state_.assignment.set_load(window.first + i, job.id,

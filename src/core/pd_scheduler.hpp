@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "core/curve_cache.hpp"
@@ -49,6 +50,18 @@ struct PdOptions {
   /// All four {incremental} x {indexed} combinations commit bit-identical
   /// decisions.
   bool indexed = true;
+  /// Screen wide-window arrivals through the convex::CurveSegmentTree
+  /// capacity bounds before touching the window: a rejection the bounds
+  /// certify costs O(log n · log knots) instead of O(window), and an
+  /// inconclusive screen falls back to the exact linear scan — so every
+  /// decision stays bitwise identical to the windowed=false engine (the
+  /// extended differential matrix proves {incremental} x {indexed} x
+  /// {windowed} pairwise identical). Only meaningful on the indexed
+  /// backend; with indexed=false the option is inert. Accepted arrivals
+  /// are Ω(window) regardless (they commit a load into every window
+  /// interval), so the screen targets the rejection path — the case where
+  /// a heavy-lookahead arrival previously paid O(window) for nothing.
+  bool windowed = true;
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -60,6 +73,8 @@ struct PdCounters {
   long long horizon_extensions = 0;  // boundaries outside the known horizon
   long long curve_cache_hits = 0;      // curves served without rebuilding
   long long curve_cache_rebuilds = 0;  // curves (re)built from loads
+  long long window_prunes = 0;   // rejections certified by the segment tree
+  long long window_exact = 0;    // windowed arrivals that took the exact path
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
 
@@ -73,6 +88,8 @@ struct PdCounters {
     horizon_extensions += other.horizon_extensions;
     curve_cache_hits += other.curve_cache_hits;
     curve_cache_rebuilds += other.curve_cache_rebuilds;
+    window_prunes += other.window_prunes;
+    window_exact += other.window_exact;
     max_intervals = std::max(max_intervals, other.max_intervals);
     max_window = std::max(max_window, other.max_window);
     return *this;
@@ -135,6 +152,7 @@ class PdScheduler {
   [[nodiscard]] double delta() const { return delta_; }
   [[nodiscard]] bool incremental() const { return incremental_; }
   [[nodiscard]] bool indexed() const { return indexed_; }
+  [[nodiscard]] bool windowed() const { return windowed_; }
 
   /// Total energy of the committed plan (sum of interval P_k).
   [[nodiscard]] double planned_energy() const;
@@ -157,8 +175,14 @@ class PdScheduler {
   double delta_;
   bool incremental_;
   bool indexed_;
+  bool windowed_;
   OnlineState state_;
   CurveCache cache_;
+  // Job ids this scheduler has accepted (windowed mode only). The segment
+  // tree bounds describe the all-loads curves, so the screen is valid only
+  // for a job with no committed load in the window; a re-arriving accepted
+  // id skips the screen and takes the exact re-placement path.
+  std::unordered_set<model::JobId> accepted_ids_;
   // Snapshot buffers backing the partition()/assignment() accessors on the
   // indexed backend (cold path; see the accessor comment).
   mutable model::TimePartition partition_snapshot_;

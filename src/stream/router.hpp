@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace pss::stream {
 
@@ -31,13 +32,10 @@ class StreamRouter {
     return static_cast<std::size_t>(mix(id) % num_shards_);
   }
 
-  /// splitmix64 finalizer (Steele, Lea & Flood) — a bijective avalanche
-  /// mix, so distinct ids cannot collide before the modulo.
+  /// Bijective avalanche mix, so distinct ids cannot collide before the
+  /// modulo.
   [[nodiscard]] static std::uint64_t mix(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
+    return util::splitmix64(x);
   }
 
  private:

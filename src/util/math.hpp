@@ -3,9 +3,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 namespace pss::util {
+
+/// splitmix64 finalizer (Steele, Lea & Flood): a bijective avalanche mix.
+/// The one shared definition behind every deterministic hash-like need in
+/// the library — treap priorities (util::OrderIndex,
+/// convex::CurveSegmentTree) and stream routing (stream::StreamRouter) —
+/// so the constants cannot drift apart between copies.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// Tolerant floating-point comparison: |a-b| <= atol + rtol*max(|a|,|b|).
 [[nodiscard]] inline bool almost_equal(double a, double b, double rtol = 1e-9,

@@ -1,18 +1,15 @@
 #include "util/order_index.hpp"
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace pss::util {
 
 std::uint64_t OrderIndex::priority_of(NodeId id) {
-  // splitmix64 finalizer: deterministic, well-mixed heap priorities from
-  // the dense node ids, so the treap is balanced in expectation and the
-  // shape is reproducible run to run.
-  std::uint64_t x = id;
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+  // Deterministic, well-mixed heap priorities from the dense node ids, so
+  // the treap is balanced in expectation and the shape is reproducible
+  // run to run.
+  return splitmix64(id);
 }
 
 void OrderIndex::rotate_up(NodeId id) {

@@ -44,15 +44,29 @@ struct DiffParam {
 
 class PdDifferential : public ::testing::TestWithParam<DiffParam> {};
 
-// The three fast-path variants, each compared against the contiguous
-// stateless reference.
+// Every fast-path combination of the {incremental} x {indexed} x
+// {windowed} option cube, each compared against the contiguous stateless
+// reference (all three off). `windowed` selects the segment-tree screen;
+// it is inert on the contiguous backend, and the two contiguous+windowed
+// rows prove exactly that.
 const struct EngineVariant {
   const char* name;
   PdOptions options;
 } kVariants[] = {
-    {"contiguous+cached", {.delta = {}, .incremental = true, .indexed = false}},
-    {"indexed+stateless", {.delta = {}, .incremental = false, .indexed = true}},
-    {"indexed+cached", {.delta = {}, .incremental = true, .indexed = true}},
+    {"contiguous+cached",
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = false}},
+    {"contiguous+stateless+windowed(inert)",
+     {.delta = {}, .incremental = false, .indexed = false, .windowed = true}},
+    {"contiguous+cached+windowed(inert)",
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = true}},
+    {"indexed+stateless",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = false}},
+    {"indexed+cached",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = false}},
+    {"indexed+stateless+windowed",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = true}},
+    {"indexed+cached+windowed",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = true}},
 };
 
 // Feeds the reference and all variants in lockstep and asserts
@@ -60,7 +74,8 @@ const struct EngineVariant {
 void expect_engines_identical(const model::Instance& instance) {
   PdScheduler reference(
       instance.machine(),
-      {.delta = {}, .incremental = false, .indexed = false});
+      {.delta = {}, .incremental = false, .indexed = false,
+       .windowed = false});
   std::vector<PdScheduler> variants;
   for (const EngineVariant& v : kVariants)
     variants.emplace_back(instance.machine(), v.options);
@@ -99,19 +114,26 @@ void expect_engines_identical(const model::Instance& instance) {
   EXPECT_EQ(reference.counters().curve_cache_hits, 0);
 }
 
-// The fractional scheduler on both backends, bitwise.
+// The fractional scheduler across {indexed} x {windowed}, bitwise.
 void expect_fractional_identical(const model::Instance& instance) {
-  const auto contiguous =
-      core::run_fractional_pd(instance, {.delta = {}, .indexed = false});
-  const auto indexed =
-      core::run_fractional_pd(instance, {.delta = {}, .indexed = true});
-  ASSERT_EQ(contiguous.fraction, indexed.fraction);
-  ASSERT_EQ(contiguous.lambda, indexed.lambda);
-  ASSERT_EQ(contiguous.energy, indexed.energy);
-  ASSERT_EQ(contiguous.lost_value, indexed.lost_value);
-  ASSERT_EQ(contiguous.dual_lower_bound, indexed.dual_lower_bound);
-  ASSERT_EQ(contiguous.partition.boundaries(),
-            indexed.partition.boundaries());
+  const auto contiguous = core::run_fractional_pd(
+      instance, {.delta = {}, .indexed = false, .windowed = false});
+  const core::FractionalPdOptions variants[] = {
+      {.delta = {}, .indexed = false, .windowed = true},  // windowed inert
+      {.delta = {}, .indexed = true, .windowed = false},
+      {.delta = {}, .indexed = true, .windowed = true},
+  };
+  for (const auto& options : variants) {
+    const auto other = core::run_fractional_pd(instance, options);
+    ASSERT_EQ(contiguous.fraction, other.fraction)
+        << "indexed=" << options.indexed << " windowed=" << options.windowed;
+    ASSERT_EQ(contiguous.lambda, other.lambda);
+    ASSERT_EQ(contiguous.energy, other.energy);
+    ASSERT_EQ(contiguous.lost_value, other.lost_value);
+    ASSERT_EQ(contiguous.dual_lower_bound, other.dual_lower_bound);
+    ASSERT_EQ(contiguous.partition.boundaries(),
+              other.partition.boundaries());
+  }
 }
 
 constexpr int kSeedsPerFamily = 25;
@@ -239,6 +261,48 @@ TEST_P(PdDifferential, SplitHeavyLookaheadInstances) {
     const auto inst = lookahead_instance(150, Machine{param.m, param.alpha},
                                          8100 + std::uint64_t(seed));
     expect_engines_identical(inst);
+  }
+}
+
+// Wide-window family: a loaded backdrop whose lookahead plants load far
+// ahead of the release frontier, punctuated by arrivals whose windows
+// span up to the whole horizon at values from hopeless to irresistible —
+// the regime PdOptions::windowed screens. The windowed engines must stay
+// bitwise identical while the screen demonstrably fires.
+model::Instance wide_window_instance(int num_jobs, Machine machine,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  jobs.push_back({0, 0.0, 400.0, 2.0, 50.0});  // umbrella anchor
+  for (int i = 1; i < num_jobs; ++i) {
+    model::Job job;
+    job.id = i;
+    job.release = double(i) * 0.25;
+    const bool wide = i % 5 == 0;
+    job.deadline =
+        job.release + (wide ? rng.uniform(100.0, 360.0) : rng.uniform(2.0, 30.0));
+    job.work = rng.uniform(0.3, 2.0) * (wide ? 20.0 : 1.0);
+    job.value = workload::energy_fair_value(job, machine.alpha) *
+                std::pow(10.0, rng.uniform(-2.5, 2.5));
+    jobs.push_back(job);
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+TEST_P(PdDifferential, WideWindowInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < 3; ++seed) {
+    SCOPED_TRACE("wide-window seed " + std::to_string(seed));
+    const auto inst = wide_window_instance(150, Machine{param.m, param.alpha},
+                                           8200 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+    if (::testing::Test::HasFatalFailure()) return;
+    // The screen must have certified rejections on this family — not
+    // merely run (window_exact counts fallbacks, so prunes is the signal).
+    PdScheduler windowed(inst.machine(), {});
+    for (const model::Job& job : inst.jobs_by_release())
+      (void)windowed.on_arrival(job);
+    EXPECT_GT(windowed.counters().window_prunes, 0);
   }
 }
 
