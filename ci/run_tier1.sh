@@ -7,7 +7,8 @@
 #   ci/run_tier1.sh [build-dir]
 #
 # Exits nonzero on any configure/build error, any compiler warning, any
-# ctest failure, a perf-smoke engine mismatch, or malformed bench JSON.
+# ctest failure, a test file missing from the registered ctest suite, a
+# perf-smoke engine mismatch, or malformed bench JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +21,21 @@ rm -rf "${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S . -DPSS_WERROR=ON
 cmake --build "${BUILD_DIR}" -j
 cd "${BUILD_DIR}" && ctest --output-on-failure -j
+
+# Suite-registration gate: every tests/test_*.cpp must be discovered and
+# registered with ctest — a test file that silently falls out of the build
+# glob (or whose discovery fails) would otherwise pass CI without ever
+# running. The json-v1 listing records each case's command line, which
+# names the test binary.
+ctest --show-only=json-v1 > ctest_cases.json
+for test_src in "${ROOT}"/tests/test_*.cpp; do
+  test_bin="$(basename "${test_src}" .cpp)"
+  if ! grep -q "/${test_bin}\"" ctest_cases.json; then
+    echo "FATAL: tests/${test_bin}.cpp exists but no registered ctest case runs it" >&2
+    exit 1
+  fi
+done
+echo "suite-registration: OK ($(ls "${ROOT}"/tests/test_*.cpp | wc -l) test files registered with ctest)"
 
 # Perf-smoke: tiny streaming run of bench_throughput. The driver itself
 # exits nonzero if the cached and reference engines ever disagree.
@@ -72,6 +88,20 @@ else
   grep -q '"determinism_match": true' bench_results/BENCH_window.json
 fi
 echo "window-smoke: OK (${BUILD_DIR}/bench_results/BENCH_window.json)"
+
+# Accept-scale smoke: small accept-heavy run of the lazy water-level
+# driver. The driver exits nonzero if the lazy and eager engines ever
+# disagree bitwise, if any accepter missed the closed-form fast path, or
+# if the lazy per-accept cost fails the sub-linearity check.
+PSS_ACCEPT_MAX_TICKS=16384 PSS_ACCEPT_EAGER_MAX=16384 \
+  PSS_RESULT_DIR=bench_results \
+  ./bench_accept_scale --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_accept.json > /dev/null
+else
+  grep -q '"determinism_match": true' bench_results/BENCH_accept.json
+fi
+echo "accept-smoke: OK (${BUILD_DIR}/bench_results/BENCH_accept.json)"
 
 # Docs-consistency gate: every BENCH_*.json a smoke stage emitted must
 # have its schema documented in docs/BUILDING.md — a new bench artifact

@@ -25,6 +25,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -114,6 +116,81 @@ class CurveCache {
     return tree_;
   }
 
+  // -- lazy water-level annotations (PdOptions::lazy, indexed backend) -----
+  //
+  // An accepted virgin-uniform-window job is recorded as ONE range
+  // annotation {[t0, t1), job, amount, first_amount} instead of a load
+  // write per window interval (convex::water_fill_uniform replays the
+  // reference arithmetic in closed form). The annotation is expanded into
+  // ordinary IntervalStore loads — "materialized" — the first time anything
+  // needs the eager state of that range:
+  //   * before_boundary: a new boundary is about to split an interval
+  //     inside the range (materializing first keeps the proportional split
+  //     arithmetic bitwise identical to the eager engine);
+  //   * lazy_materialize_range: an arrival's exact fallback (or the
+  //     fractional screen) is about to read the range's loads;
+  //   * lazy_flush: a snapshot/energy/schedule consumer needs everything.
+  // Pending ranges are pairwise disjoint by construction: a lazy commit
+  // requires its window to be virgin (disjoint from the committed extent,
+  // which contains every pending range).
+  //
+  // The segment tree is deliberately NOT told about pending annotations:
+  // pending load only *shrinks* true capacity, so the stale (virgin)
+  // bounds over-estimate and the windowed reject certificate stays sound.
+  // The fractional full-service certificate (lo >= work) is the opposite
+  // direction, so fractional PD materializes the window *before* its
+  // screen. curves_for enforces the contract with a hard check.
+
+  struct LazyStats {
+    long long commits = 0;           // accepts recorded as annotations
+    long long materializations = 0;  // annotations expanded into loads
+  };
+
+  /// Turns the lazy bookkeeping on (schedulers with PdOptions::lazy). The
+  /// flag survives reset() so a recycled scheduler keeps its mode; reset()
+  /// clears all lazy *state* (pending annotations, extent, grid).
+  void enable_lazy(bool on) { lazy_enabled_ = on; }
+  [[nodiscard]] bool lazy_enabled() const { return lazy_enabled_; }
+
+  /// Hook before IntervalStore::ensure_boundary(t): if t is new and falls
+  /// strictly inside a pending range, materialize that annotation so the
+  /// upcoming split divides real loads exactly as the eager engine does.
+  void before_boundary(model::IntervalStore& store, double t);
+  /// Hook after ensure_boundary(t): classifies the new boundary against
+  /// the detected uniform grid (see lazy_virgin_uniform).
+  void after_boundary(const model::IntervalStore& store, double t);
+
+  /// True iff [t0, t1) is a certified virgin uniform window: `count`
+  /// intervals whose lengths are all bitwise equal to the detected
+  /// power-of-two grid unit (written to *unit) and that carry no committed
+  /// or pending load. Exactly the precondition of water_fill_uniform.
+  [[nodiscard]] bool lazy_virgin_uniform(const model::IntervalStore& store,
+                                         double t0, double t1,
+                                         std::size_t count, double* unit);
+
+  /// Records an accepted placement on the virgin window [t0, t1) as a
+  /// pending annotation and extends the committed extent.
+  void lazy_commit(double t0, double t1, model::JobId job, double amount,
+                   double first_amount);
+
+  /// Extends the committed-load extent (eager commits must report here so
+  /// the virgin test stays sound when lazy mode is on).
+  void note_commit_extent(double t0, double t1);
+
+  /// Any pending annotation intersecting [t0, t1)?
+  [[nodiscard]] bool lazy_pending_overlap(double t0, double t1) const;
+
+  /// Materializes every pending annotation intersecting [t0, t1).
+  void lazy_materialize_range(model::IntervalStore& store, double t0,
+                              double t1);
+  /// Materializes everything (snapshot/energy/schedule consumers).
+  void lazy_flush(model::IntervalStore& store);
+
+  [[nodiscard]] std::size_t lazy_pending_count() const {
+    return pending_.size();
+  }
+  [[nodiscard]] const LazyStats& lazy_stats() const { return lazy_stats_; }
+
  private:
   struct Entry {
     bool built = false;
@@ -132,6 +209,40 @@ class CurveCache {
   const model::IntervalStore* tree_store_ = nullptr;
   int tree_procs_ = 0;
   Stats stats_;
+
+  // -- lazy water-level state ----------------------------------------------
+  struct Pending {
+    double t1 = 0.0;            // range end (key of pending_ is t0)
+    model::JobId job = -1;
+    double amount = 0.0;        // per-interval share
+    double first_amount = 0.0;  // first interval: share + residue
+  };
+  void observe_boundary(const model::IntervalStore& store, double t);
+  void classify_boundary(double t);
+  void materialize(model::IntervalStore& store,
+                   std::map<double, Pending>::iterator it);
+
+  bool lazy_enabled_ = false;
+  bool boundary_was_new_ = false;  // before_/after_boundary handshake
+  std::map<double, Pending> pending_;  // disjoint ranges, keyed by t0
+  // Committed-load time extent (eager + lazy); the virgin test is
+  // disjointness from this range, which conservatively covers every
+  // pending annotation.
+  bool extent_set_ = false;
+  double extent_lo_ = 0.0;
+  double extent_hi_ = 0.0;
+  // Uniform-grid detection. grid_unit_ is the smallest power-of-two
+  // neighbor gap observed (power-of-two so that k*unit and consecutive
+  // differences are exact in floating point); boundaries that are not an
+  // exact integer multiple of it land in offgrid_. A window with no
+  // off-grid boundary and exactly span/unit intervals is certified
+  // uniform. Refining the unit keeps old off-grid records — conservative:
+  // the fast path misses, never misfires.
+  double grid_unit_ = 0.0;          // 0 = not yet detected
+  bool grid_dead_ = false;          // detection abandoned; fast path off
+  std::vector<double> grid_early_;  // boundaries seen before detection
+  std::set<double> offgrid_;
+  LazyStats lazy_stats_;
 };
 
 }  // namespace pss::core

@@ -29,17 +29,26 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
   // processed once each with instance-unique ids, so the all-loads bounds
   // always describe the arriving job's exclusion view exactly.
   const bool windowed = options.windowed && options.indexed;
+  const bool lazy = options.lazy && options.indexed;
   CurveCache cache;
+  cache.enable_lazy(lazy);
   FractionalPdResult result;
   result.fraction.assign(instance.num_jobs(), 0.0);
   result.lambda.assign(instance.num_jobs(), 0.0);
 
   for (const model::Job& job : instance.jobs_by_release()) {
-    state.ensure_boundary(job.release);
-    state.ensure_boundary(job.deadline);
+    CurveCache* hook = state.indexed ? &cache : nullptr;
+    state.ensure_boundary(job.release, hook);
+    state.ensure_boundary(job.deadline, hook);
     const auto window = state.indexed
                             ? state.store.range(job.release, job.deadline)
                             : state.partition.job_range(job);
+    // The full-service certificate below (bounds.lo >= work) would be
+    // unsound against bounds that miss pending load, so expand any
+    // annotation intersecting this window before screening. Reject-side
+    // staleness would be sound, but fractional needs both directions.
+    if (lazy)
+      cache.lazy_materialize_range(state.store, job.release, job.deadline);
     const double s_cap = rejection_speed(job.value, job.work, alpha, delta);
 
     // Certified shortcuts off the segment-tree bounds; anything
@@ -67,6 +76,36 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
       }
     } else if (windowed) {
       ++result.window_exact;
+    }
+
+    // Certified closed-form replay on a virgin uniform window: capacity,
+    // level and placement collapse to O(log n) arithmetic and the commit
+    // becomes one range annotation (see PdScheduler's lazy fast path).
+    double unit = 0.0;
+    if (lazy && s_cap > 0.0 &&
+        cache.lazy_virgin_uniform(state.store, job.release, job.deadline,
+                                  window.size(), &unit)) {
+      const double capacity =
+          full_certified || !std::isfinite(s_cap)
+              ? util::kInf
+              : convex::window_capacity_uniform(
+                    unit, window.size(), machine.num_processors, s_cap);
+      const double target = std::min(job.work, capacity);
+      if (target <= 1e-12 * job.work) {
+        result.lambda[std::size_t(job.id)] = job.value;
+        continue;  // fully unserved
+      }
+      const convex::UniformFill fill = convex::water_fill_uniform(
+          unit, window.size(), machine.num_processors, target, util::kInf);
+      PSS_CHECK(fill.accepted, "fractional placement failed");
+      cache.lazy_commit(job.release, job.deadline, job.id, fill.amount,
+                        fill.first_amount);
+      result.fraction[std::size_t(job.id)] = target / job.work;
+      result.lambda[std::size_t(job.id)] =
+          target < job.work
+              ? job.value
+              : delta * job.work * power.derivative(fill.level);
+      continue;
     }
 
     // Work the window absorbs below the marginal price v_j; serve up to w.
@@ -100,6 +139,7 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
         if (windowed) cache.note_load_changed(h);
         h = state.store.next_handle(h);
       }
+      if (lazy) cache.note_commit_extent(job.release, job.deadline);
     } else {
       for (std::size_t i = 0; i < window.size(); ++i)
         state.assignment.set_load(window.first + i, job.id,
@@ -114,6 +154,11 @@ FractionalPdResult run_fractional_pd(const model::Instance& instance,
                                                    placement->speed);
   }
 
+  if (lazy) {
+    cache.lazy_flush(state.store);
+    result.lazy_commits = cache.lazy_stats().commits;
+    result.lazy_materializations = cache.lazy_stats().materializations;
+  }
   result.partition = state.indexed ? state.store.snapshot_partition()
                                    : state.partition;
   result.assignment = state.indexed ? state.store.snapshot_assignment()

@@ -51,6 +51,15 @@ struct FractionalPdOptions {
   /// fully served with target = work without computing the exact capacity.
   /// Partial service (the inconclusive band) always takes the exact scan.
   bool windowed = true;
+  /// Lazy water-level commits (indexed backend only; inert otherwise).
+  /// Same mechanism as PdOptions::lazy: a job whose window is a certified
+  /// virgin uniform range is served through the closed-form replay
+  /// (convex::water_fill_uniform / window_capacity_uniform) and committed
+  /// as one range annotation. Because the *full-service* certificate
+  /// (lo >= work) is unsound against stale bounds, pending annotations
+  /// intersecting the window are materialized before the screen — the
+  /// result stays bitwise identical to lazy=false.
+  bool lazy = true;
 };
 
 struct FractionalPdResult {
@@ -64,6 +73,8 @@ struct FractionalPdResult {
   double dual_lower_bound = 0.0; // g(lambda) — bound on the relaxed optimum
   long long window_prunes = 0;   // decisions certified by the segment tree
   long long window_exact = 0;    // windowed arrivals that scanned exactly
+  long long lazy_commits = 0;           // jobs committed as annotations
+  long long lazy_materializations = 0;  // annotations expanded into loads
 
   [[nodiscard]] double total_cost() const { return energy + lost_value; }
 };

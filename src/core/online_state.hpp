@@ -51,6 +51,10 @@ struct OnlineState {
   /// cache entries survive refinements by construction.
   void ensure_boundary(double t, CurveCache* cache = nullptr) {
     if (indexed) {
+      // Lazy water-level hooks (no-ops unless the cache has lazy mode on):
+      // before — materialize a pending annotation the new boundary would
+      // split; after — classify the new boundary against the uniform grid.
+      if (cache) cache->before_boundary(store, t);
       switch (store.ensure_boundary(t)) {
         case model::IntervalStore::Refinement::kSplit:
           ++interval_splits;
@@ -63,6 +67,7 @@ struct OnlineState {
         case model::IntervalStore::Refinement::kBootstrap:
           break;
       }
+      if (cache) cache->after_boundary(store, t);
       return;
     }
     if (partition.has_boundary(t)) return;

@@ -18,11 +18,13 @@ PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
       delta_(options.delta.value_or(optimal_delta(machine.alpha))),
       incremental_(options.incremental),
       indexed_(options.indexed),
-      windowed_(options.windowed && options.indexed) {
+      windowed_(options.windowed && options.indexed),
+      lazy_(options.lazy && options.indexed) {
   PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
   PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
   PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
   state_.indexed = indexed_;
+  cache_.enable_lazy(lazy_);
 }
 
 void PdScheduler::ensure_boundary(double t) {
@@ -42,6 +44,9 @@ void PdScheduler::advance_to(double t) {
 void PdScheduler::reset() {
   state_ = OnlineState{};
   state_.indexed = indexed_;
+  // reset() drops all lazy state (pending annotations, extent, grid) but
+  // keeps the lazy mode flag — a recycled session must neither replay
+  // stale water levels nor silently change engine variant.
   cache_.reset(0);
   accepted_ids_.clear();
   decisions_.clear();
@@ -92,8 +97,46 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   }
 
   ArrivalDecision decision;
+  bool lazy_done = false;
+  if (!screened_reject && lazy_) {
+    double unit = 0.0;
+    if (s_reject > 0.0 &&
+        cache_.lazy_virgin_uniform(state_.store, job.release, job.deadline,
+                                   window.size(), &unit)) {
+      // Certified closed-form replay: the window is provably `size` empty
+      // intervals of bitwise-equal length, so the exact engines' entire
+      // arithmetic collapses to water_fill_uniform. An accept becomes one
+      // O(log n) range annotation instead of a per-interval commit loop.
+      const convex::UniformFill fill = convex::water_fill_uniform(
+          unit, window.size(), machine_.num_processors, job.work, s_reject);
+      ++counters_.lazy_fast_path;
+      if (fill.accepted) {
+        decision.accepted = true;
+        decision.speed = fill.level;
+        decision.lambda =
+            delta_ * job.work * power.derivative(fill.level);
+        decision.planned_energy =
+            job.work * util::pos_pow(fill.level, alpha - 1.0);
+        cache_.lazy_commit(job.release, job.deadline, job.id, fill.amount,
+                           fill.first_amount);
+        if (windowed_) accepted_ids_.insert(job.id);
+      } else {
+        decision.accepted = false;
+        decision.speed = s_reject;
+        decision.lambda = job.value;
+        decision.planned_energy = 0.0;
+      }
+      lazy_done = true;
+    } else {
+      // Exact fallback is about to read the window's loads: expand any
+      // annotation intersecting it so it sees the eager state.
+      cache_.lazy_materialize_range(state_.store, job.release, job.deadline);
+    }
+  }
   std::optional<convex::Placement> placement;
-  if (screened_reject) {
+  if (lazy_done) {
+    placement = std::nullopt;  // unused; decision already made above
+  } else if (screened_reject) {
     placement = std::nullopt;
   } else if (indexed_ && incremental_) {
     const auto curves = cache_.curves_for(
@@ -112,7 +155,9 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
                                    machine_.num_processors, window, job.work,
                                    s_reject, job.id);
   }
-  if (!placement.has_value()) {
+  if (lazy_done) {
+    // Decision fields were filled by the closed-form replay.
+  } else if (!placement.has_value()) {
     // Line 12(b): the marginal hit v_j first; reset loads, fix lambda = v.
     decision.accepted = false;
     decision.speed = s_reject;
@@ -133,6 +178,7 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
         h = state_.store.next_handle(h);
       }
       if (windowed_) accepted_ids_.insert(job.id);
+      if (lazy_) cache_.note_commit_extent(job.release, job.deadline);
     } else {
       for (std::size_t i = 0; i < window.size(); ++i)
         state_.assignment.set_load(window.first + i, job.id,
@@ -145,6 +191,8 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   counters_.horizon_extensions = state_.horizon_extensions;
   counters_.curve_cache_hits = cache_.stats().hits;
   counters_.curve_cache_rebuilds = cache_.stats().rebuilds;
+  counters_.lazy_commits = cache_.lazy_stats().commits;
+  counters_.lazy_materializations = cache_.lazy_stats().materializations;
   counters_.max_intervals =
       std::max(counters_.max_intervals, state_.num_intervals());
   counters_.max_window = std::max(counters_.max_window, window.size());
@@ -152,19 +200,30 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   return decision;
 }
 
+void PdScheduler::flush_lazy() const {
+  if (!lazy_) return;
+  auto* self = const_cast<PdScheduler*>(this);
+  self->cache_.lazy_flush(self->state_.store);
+  self->counters_.lazy_materializations =
+      self->cache_.lazy_stats().materializations;
+}
+
 double PdScheduler::planned_energy() const {
   // Indexed backend: materialize once and reuse the contiguous evaluator —
   // cold path, and the snapshot loads are bitwise-identical to the
   // contiguous backend's, so the energy is too.
-  if (indexed_)
+  if (indexed_) {
+    flush_lazy();
     return convex::assignment_energy(
         state_.store.snapshot_assignment(), state_.store.snapshot_partition(),
         machine_.num_processors, machine_.alpha);
+  }
   return convex::assignment_energy(state_.assignment, state_.partition,
                                    machine_.num_processors, machine_.alpha);
 }
 
 model::Schedule PdScheduler::final_schedule() const {
+  flush_lazy();
   model::Schedule schedule =
       indexed_ ? chen::realize_assignment(state_.store.snapshot_assignment(),
                                           state_.store.snapshot_partition(),

@@ -62,6 +62,20 @@ struct PdOptions {
   /// interval), so the screen targets the rejection path — the case where
   /// a heavy-lookahead arrival previously paid O(window) for nothing.
   bool windowed = true;
+  /// Lazy water-level accepts (indexed backend only; inert otherwise).
+  /// An arrival whose window is a certified *virgin uniform* range — all
+  /// interval lengths bitwise equal to the detected power-of-two grid
+  /// unit, no committed or pending load — is decided by the O(log n)
+  /// closed-form replay convex::water_fill_uniform and, if accepted,
+  /// recorded as a single range annotation in the CurveCache instead of
+  /// one load write per window interval. Annotations materialize into
+  /// ordinary loads on first touch (split, exact fallback, snapshot), so
+  /// every observable decision/load/energy is bitwise identical to the
+  /// eager engine — lazy=false is retained as the bitwise reference, and
+  /// the differential cube {incremental}x{indexed}x{windowed}x{lazy}
+  /// proves it. This is what makes accept-heavy wide-window streams
+  /// sub-linear per accept (bench_accept_scale / BENCH_accept.json).
+  bool lazy = true;
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -75,6 +89,9 @@ struct PdCounters {
   long long curve_cache_rebuilds = 0;  // curves (re)built from loads
   long long window_prunes = 0;   // rejections certified by the segment tree
   long long window_exact = 0;    // windowed arrivals that took the exact path
+  long long lazy_fast_path = 0;  // arrivals decided by the closed-form replay
+  long long lazy_commits = 0;           // accepts recorded as annotations
+  long long lazy_materializations = 0;  // annotations expanded into loads
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
 
@@ -90,6 +107,9 @@ struct PdCounters {
     curve_cache_rebuilds += other.curve_cache_rebuilds;
     window_prunes += other.window_prunes;
     window_exact += other.window_exact;
+    lazy_fast_path += other.lazy_fast_path;
+    lazy_commits += other.lazy_commits;
+    lazy_materializations += other.lazy_materializations;
     max_intervals = std::max(max_intervals, other.max_intervals);
     max_window = std::max(max_window, other.max_window);
     return *this;
@@ -146,6 +166,7 @@ class PdScheduler {
   }
   [[nodiscard]] const model::WorkAssignment& assignment() const {
     if (!indexed_) return state_.assignment;
+    flush_lazy();  // pending annotations must land before a load snapshot
     assignment_snapshot_ = state_.store.snapshot_assignment();
     return assignment_snapshot_;
   }
@@ -153,6 +174,7 @@ class PdScheduler {
   [[nodiscard]] bool incremental() const { return incremental_; }
   [[nodiscard]] bool indexed() const { return indexed_; }
   [[nodiscard]] bool windowed() const { return windowed_; }
+  [[nodiscard]] bool lazy() const { return lazy_; }
 
   /// Total energy of the committed plan (sum of interval P_k).
   [[nodiscard]] double planned_energy() const;
@@ -170,12 +192,18 @@ class PdScheduler {
 
  private:
   void ensure_boundary(double t);
+  /// Materializes every pending lazy annotation. Logically const: it only
+  /// moves already-decided state between representations (annotation ->
+  /// per-interval loads) and cannot change any observable value, which is
+  /// why the const accessors may call it.
+  void flush_lazy() const;
 
   model::Machine machine_;
   double delta_;
   bool incremental_;
   bool indexed_;
   bool windowed_;
+  bool lazy_;
   OnlineState state_;
   CurveCache cache_;
   // Job ids this scheduler has accepted (windowed mode only). The segment

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/pairwise_sum.hpp"
 
 namespace pss::util {
 
@@ -82,21 +83,25 @@ LazyLinearSum::LazyLinearSum(std::span<const PiecewiseLinear* const> fns)
     : fns_(fns) {
   PSS_REQUIRE(!fns.empty(), "sum of zero functions");
   front_ = fns.front() ? fns.front()->domain_start() : 0.0;
+  scratch_.reserve(fns.size());
   for (const PiecewiseLinear* f : fns) {
     PSS_REQUIRE(f != nullptr && !f->empty(), "summand is empty");
     PSS_REQUIRE(f->domain_start() == front_,
                 "summands must share a domain start");
     back_ = std::max(back_, f->knots().back().x);
-    final_slope_ += f->final_slope();
+    scratch_.push_back(f->final_slope());
   }
+  final_slope_ = pairwise_sum(scratch_);
 }
 
 double LazyLinearSum::sum_at(double x) const {
-  // Accumulation order matches PiecewiseLinear::sum's per-knot loop so the
-  // value here is bitwise the y that the materialized total stores.
-  double y = 0.0;
-  for (const PiecewiseLinear* f : fns_) y += f->eval(x);
-  return y;
+  // Canonical pairwise accumulation, matching PiecewiseLinear::sum's
+  // per-knot order, so the value here is bitwise the y that the
+  // materialized total stores (see util/pairwise_sum.hpp for why pairwise
+  // is the canonical order).
+  scratch_.clear();
+  for (const PiecewiseLinear* f : fns_) scratch_.push_back(f->eval(x));
+  return pairwise_sum(scratch_);
 }
 
 LazyLinearSum::Bracket LazyLinearSum::bracket(double x) const {
@@ -178,14 +183,16 @@ PiecewiseLinear PiecewiseLinear::sum(std::span<const PiecewiseLinear> fns) {
 
   std::vector<Knot> knots;
   knots.reserve(xs.size());
+  std::vector<double> terms;
+  terms.reserve(fns.size());
   for (double x : xs) {
-    double y = 0.0;
-    for (const PiecewiseLinear& f : fns) y += f.eval(x);
-    knots.push_back({x, y});
+    terms.clear();
+    for (const PiecewiseLinear& f : fns) terms.push_back(f.eval(x));
+    knots.push_back({x, pairwise_sum(terms)});
   }
-  double slope = 0.0;
-  for (const PiecewiseLinear& f : fns) slope += f.final_slope();
-  return from_knots(std::move(knots), slope);
+  terms.clear();
+  for (const PiecewiseLinear& f : fns) terms.push_back(f.final_slope());
+  return from_knots(std::move(knots), pairwise_sum(terms));
 }
 
 }  // namespace pss::util

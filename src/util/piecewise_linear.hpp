@@ -102,6 +102,10 @@ class LazyLinearSum {
   double front_ = 0.0;  // shared domain start (first union knot)
   double back_ = 0.0;   // last union knot
   double final_slope_ = 0.0;
+  // Per-summand term buffer for the canonical pairwise accumulation in
+  // sum_at (mutable: queries are logically const and must not allocate
+  // per call on the hot path).
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace pss::util

@@ -15,8 +15,10 @@
 // tail), tight-laxity, and the adversarial Theorem-3 stream, for
 // alpha in {1.1, 2, 3} x m in {1, 4, 16}; plus split-heavy long-horizon
 // families (bisection deadlines and heavy-tailed lookahead anchors) that
-// stress the Section-3 refinement machinery, and the fractional scheduler
-// on both backends.
+// stress the Section-3 refinement machinery, an accept-heavy long-horizon
+// family where pruned rejections are rare (the lazy water-level regime),
+// and the fractional scheduler on both backends. The engine cube is the
+// full {incremental} x {indexed} x {windowed} x {lazy} matrix.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -45,28 +47,53 @@ struct DiffParam {
 class PdDifferential : public ::testing::TestWithParam<DiffParam> {};
 
 // Every fast-path combination of the {incremental} x {indexed} x
-// {windowed} option cube, each compared against the contiguous stateless
-// reference (all three off). `windowed` selects the segment-tree screen;
-// it is inert on the contiguous backend, and the two contiguous+windowed
-// rows prove exactly that.
+// {windowed} x {lazy} option cube, each compared against the contiguous
+// stateless reference (all four off). `windowed` selects the segment-tree
+// screen and `lazy` the annotation-based water-level commits; both are
+// inert on the contiguous backend, and the contiguous "(inert)" rows prove
+// exactly that. The lazy rows are the bitwise-identity proof for the
+// annotation machinery: identical decisions, lambdas, speeds, energies and
+// final costs against the eager reference on every instance.
 const struct EngineVariant {
   const char* name;
   PdOptions options;
 } kVariants[] = {
     {"contiguous+cached",
-     {.delta = {}, .incremental = true, .indexed = false, .windowed = false}},
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = false,
+      .lazy = false}},
     {"contiguous+stateless+windowed(inert)",
-     {.delta = {}, .incremental = false, .indexed = false, .windowed = true}},
+     {.delta = {}, .incremental = false, .indexed = false, .windowed = true,
+      .lazy = false}},
     {"contiguous+cached+windowed(inert)",
-     {.delta = {}, .incremental = true, .indexed = false, .windowed = true}},
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = true,
+      .lazy = false}},
+    {"contiguous+stateless+lazy(inert)",
+     {.delta = {}, .incremental = false, .indexed = false, .windowed = false,
+      .lazy = true}},
     {"indexed+stateless",
-     {.delta = {}, .incremental = false, .indexed = true, .windowed = false}},
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = false,
+      .lazy = false}},
     {"indexed+cached",
-     {.delta = {}, .incremental = true, .indexed = true, .windowed = false}},
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = false,
+      .lazy = false}},
     {"indexed+stateless+windowed",
-     {.delta = {}, .incremental = false, .indexed = true, .windowed = true}},
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = true,
+      .lazy = false}},
     {"indexed+cached+windowed",
-     {.delta = {}, .incremental = true, .indexed = true, .windowed = true}},
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = true,
+      .lazy = false}},
+    {"indexed+stateless+lazy",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = false,
+      .lazy = true}},
+    {"indexed+cached+lazy",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = false,
+      .lazy = true}},
+    {"indexed+stateless+windowed+lazy",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = true,
+      .lazy = true}},
+    {"indexed+cached+windowed+lazy",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = true,
+      .lazy = true}},
 };
 
 // Feeds the reference and all variants in lockstep and asserts
@@ -74,8 +101,8 @@ const struct EngineVariant {
 void expect_engines_identical(const model::Instance& instance) {
   PdScheduler reference(
       instance.machine(),
-      {.delta = {}, .incremental = false, .indexed = false,
-       .windowed = false});
+      {.delta = {}, .incremental = false, .indexed = false, .windowed = false,
+       .lazy = false});
   std::vector<PdScheduler> variants;
   for (const EngineVariant& v : kVariants)
     variants.emplace_back(instance.machine(), v.options);
@@ -114,19 +141,25 @@ void expect_engines_identical(const model::Instance& instance) {
   EXPECT_EQ(reference.counters().curve_cache_hits, 0);
 }
 
-// The fractional scheduler across {indexed} x {windowed}, bitwise.
+// The fractional scheduler across {indexed} x {windowed} x {lazy}, bitwise.
 void expect_fractional_identical(const model::Instance& instance) {
   const auto contiguous = core::run_fractional_pd(
-      instance, {.delta = {}, .indexed = false, .windowed = false});
+      instance,
+      {.delta = {}, .indexed = false, .windowed = false, .lazy = false});
   const core::FractionalPdOptions variants[] = {
-      {.delta = {}, .indexed = false, .windowed = true},  // windowed inert
-      {.delta = {}, .indexed = true, .windowed = false},
-      {.delta = {}, .indexed = true, .windowed = true},
+      // windowed / lazy are inert on the contiguous backend
+      {.delta = {}, .indexed = false, .windowed = true, .lazy = false},
+      {.delta = {}, .indexed = false, .windowed = false, .lazy = true},
+      {.delta = {}, .indexed = true, .windowed = false, .lazy = false},
+      {.delta = {}, .indexed = true, .windowed = true, .lazy = false},
+      {.delta = {}, .indexed = true, .windowed = false, .lazy = true},
+      {.delta = {}, .indexed = true, .windowed = true, .lazy = true},
   };
   for (const auto& options : variants) {
     const auto other = core::run_fractional_pd(instance, options);
     ASSERT_EQ(contiguous.fraction, other.fraction)
-        << "indexed=" << options.indexed << " windowed=" << options.windowed;
+        << "indexed=" << options.indexed << " windowed=" << options.windowed
+        << " lazy=" << options.lazy;
     ASSERT_EQ(contiguous.lambda, other.lambda);
     ASSERT_EQ(contiguous.energy, other.energy);
     ASSERT_EQ(contiguous.lost_value, other.lost_value);
@@ -303,6 +336,85 @@ TEST_P(PdDifferential, WideWindowInstances) {
     for (const model::Job& job : inst.jobs_by_release())
       (void)windowed.on_arrival(job);
     EXPECT_GT(windowed.counters().window_prunes, 0);
+  }
+}
+
+// Accept-heavy long-horizon family: the lazy water-level regime. A stream
+// of tick jobs marches along an integer grid, each with a one-interval
+// virgin window at the release frontier and a value chosen to be accepted —
+// the certified closed-form fast path, committed as range annotations.
+// Periodic wide jobs overlap many pending tick annotations (bulk
+// materialization followed by the exact scan), rare low-value losers are
+// the only rejections, and in the second half occasional half-tick
+// (power-of-two) releases refine the detected grid unit and split pending
+// annotations through the before_boundary hook.
+model::Instance accept_heavy_instance(int num_ticks, Machine machine,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  int id = 0;
+  for (int t = 0; t < num_ticks; ++t) {
+    model::Job tick;
+    tick.id = id++;
+    tick.release = double(t);
+    tick.deadline = double(t) + 1.0;
+    tick.work = rng.uniform(0.4, 1.6);
+    tick.value = workload::energy_fair_value(tick, machine.alpha) *
+                 rng.uniform(4.0, 8.0);  // comfortably accepted
+    jobs.push_back(tick);
+    if (t % 8 == 5) {
+      model::Job wide;  // overlaps the pending tick annotations ahead
+      wide.id = id++;
+      wide.release = double(t);
+      wide.deadline = double(t) + 9.0;
+      wide.work = rng.uniform(3.0, 8.0);
+      wide.value = workload::energy_fair_value(wide, machine.alpha) *
+                   rng.uniform(2.0, 5.0);
+      jobs.push_back(wide);
+    }
+    if (t % 16 == 11) {
+      model::Job loser;  // the rare rejection
+      loser.id = id++;
+      loser.release = double(t);
+      loser.deadline = double(t) + 2.0;
+      loser.work = rng.uniform(0.5, 1.5);
+      loser.value = workload::energy_fair_value(loser, machine.alpha) * 0.01;
+      jobs.push_back(loser);
+    }
+    if (t >= num_ticks / 2 && t % 10 == 7) {
+      model::Job half;  // off-tick boundary: splits pending annotations
+      half.id = id++;
+      half.release = double(t) + 0.5;
+      half.deadline = double(t) + 2.5;
+      half.work = rng.uniform(0.3, 1.0);
+      half.value = workload::energy_fair_value(half, machine.alpha) *
+                   rng.uniform(1.0, 3.0);
+      jobs.push_back(half);
+    }
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+TEST_P(PdDifferential, AcceptHeavyLongHorizonInstances) {
+  const DiffParam param = GetParam();
+  for (int seed = 0; seed < 2; ++seed) {
+    SCOPED_TRACE("accept-heavy seed " + std::to_string(seed));
+    const auto inst = accept_heavy_instance(96, Machine{param.m, param.alpha},
+                                            8300 + std::uint64_t(seed));
+    expect_engines_identical(inst);
+    if (::testing::Test::HasFatalFailure()) return;
+    // The default engine (all fast paths on) must demonstrably exercise the
+    // lazy machinery on this family, not merely match it: closed-form
+    // accepts committed as annotations AND annotations expanded on touch.
+    PdScheduler lazy_engine(inst.machine(), {});
+    for (const model::Job& job : inst.jobs_by_release())
+      (void)lazy_engine.on_arrival(job);
+    EXPECT_GT(lazy_engine.counters().lazy_fast_path, 0);
+    EXPECT_GT(lazy_engine.counters().lazy_commits, 0);
+    EXPECT_GT(lazy_engine.counters().lazy_materializations, 0);
+    EXPECT_LT(lazy_engine.counters().rejected,
+              lazy_engine.counters().accepted / 4);
+    expect_fractional_identical(inst);
   }
 }
 

@@ -169,6 +169,36 @@ TEST(SessionTable, RecycledSchedulerStartsClean) {
   EXPECT_EQ(again->counters.arrivals, (long long)jobs.size());
 }
 
+TEST(SessionTable, RecycledSessionReplaysNoStaleLazyLevels) {
+  // Pure tick streams are the lazy fast-path regime: accepts become
+  // pending range annotations. A recycled session serving a second stream
+  // over the *same* time range must not replay the first stream's water
+  // levels — its results and lazy counters must match a fresh session's.
+  auto config = small_config(1, 40);
+  config.jobs_per_tick = 1.0;
+  config.min_span = 1;
+  config.max_span = 1;
+  const auto jobs = sim::make_stream_jobs(config, 0, kMachine.alpha);
+  stream::SessionTable table(kMachine, {}, true);
+  for (const model::Job& job : jobs) table.feed(1, job);
+  const stream::StreamResult* first = table.close(1);
+  EXPECT_GT(first->counters.lazy_commits, 0);  // the fast path really ran
+  for (const model::Job& job : jobs) table.feed(2, job);  // recycled object
+  const stream::StreamResult* again = table.close(2);
+  EXPECT_EQ(again->planned_energy, first->planned_energy);
+  EXPECT_EQ(again->counters.lazy_fast_path, first->counters.lazy_fast_path);
+  EXPECT_EQ(again->counters.lazy_commits, first->counters.lazy_commits);
+  ASSERT_EQ(again->decisions.size(), first->decisions.size());
+  for (std::size_t i = 0; i < first->decisions.size(); ++i) {
+    EXPECT_EQ(again->decisions[i].second.accepted,
+              first->decisions[i].second.accepted);
+    EXPECT_EQ(again->decisions[i].second.speed,
+              first->decisions[i].second.speed);
+    EXPECT_EQ(again->decisions[i].second.lambda,
+              first->decisions[i].second.lambda);
+  }
+}
+
 TEST(SessionTable, AdvanceKeepsIdleSessionOnClock) {
   stream::SessionTable table(kMachine, {}, false);
   table.advance(5, 10.0);
@@ -234,6 +264,55 @@ TEST(StreamEngine, ShardCountInvarianceBitwise1_4_16) {
               1e-9 * at1.snapshot.closed_energy);
   EXPECT_EQ(at1.snapshot.counters.interval_splits,
             at16.snapshot.counters.interval_splits);
+}
+
+// The shard-invariance property must survive the lazy water-level backend:
+// with lazy explicitly on, any shard count produces bitwise-identical
+// per-stream decisions — and they are bitwise identical to an eager
+// (lazy=false) engine on the same streams.
+TEST(StreamEngine, ShardCountInvarianceHoldsWithLazyLevels) {
+  auto config = small_config(24, 32);
+  config.jobs_per_tick = 1.0;  // tick streams: the lazy fast-path regime
+  config.min_span = 1;
+  config.max_span = 4;
+  const auto with_lazy = [](std::size_t shards, bool lazy) {
+    stream::EngineOptions options;
+    options.num_shards = shards;
+    options.machine = kMachine;
+    options.record_decisions = true;
+    options.scheduler.lazy = lazy;
+    return options;
+  };
+  const auto lazy1 = sim::sweep_streams(config, with_lazy(1, true));
+  const auto lazy5 = sim::sweep_streams(config, with_lazy(5, true));
+  const auto eager3 = sim::sweep_streams(config, with_lazy(3, false));
+  // The annotation machinery demonstrably ran on the lazy engines only.
+  EXPECT_GT(lazy1.snapshot.counters.lazy_commits, 0);
+  EXPECT_EQ(lazy1.snapshot.counters.lazy_commits,
+            lazy5.snapshot.counters.lazy_commits);
+  EXPECT_EQ(eager3.snapshot.counters.lazy_commits, 0);
+  ASSERT_EQ(lazy1.streams.size(), 24u);
+  ASSERT_EQ(lazy5.streams.size(), 24u);
+  ASSERT_EQ(eager3.streams.size(), 24u);
+  for (std::size_t s = 0; s < 24; ++s) {
+    const auto& a = lazy1.streams[s];
+    const auto& b = lazy5.streams[s];
+    const auto& c = eager3.streams[s];
+    ASSERT_EQ(a.id, b.id);
+    ASSERT_EQ(a.id, c.id);
+    EXPECT_EQ(a.planned_energy, b.planned_energy);
+    EXPECT_EQ(a.planned_energy, c.planned_energy);
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    ASSERT_EQ(a.decisions.size(), c.decisions.size());
+    for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+      EXPECT_EQ(a.decisions[i].second.accepted,
+                b.decisions[i].second.accepted);
+      EXPECT_EQ(a.decisions[i].second.speed, b.decisions[i].second.speed);
+      EXPECT_EQ(a.decisions[i].second.lambda, c.decisions[i].second.lambda);
+      EXPECT_EQ(a.decisions[i].second.planned_energy,
+                c.decisions[i].second.planned_energy);
+    }
+  }
 }
 
 TEST(StreamEngine, SnapshotTotalsAreConsistent) {
