@@ -103,6 +103,20 @@ else
 fi
 echo "accept-smoke: OK (${BUILD_DIR}/bench_results/BENCH_accept.json)"
 
+# Soak smoke: short steady-state serving run with per-tick horizon
+# compaction. The driver exits nonzero if compacted memory is not flat
+# after warm-up, if the uncompacted twin fails to show the linear growth
+# being guarded against, or if compaction changes any decision or energy.
+PSS_SOAK_TICKS=6000 PSS_SOAK_UNCOMPACTED_MAX=4000 \
+  PSS_RESULT_DIR=bench_results \
+  ./bench_soak --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_soak.json > /dev/null
+else
+  grep -q '"decisions_match": true' bench_results/BENCH_soak.json
+fi
+echo "soak-smoke: OK (${BUILD_DIR}/bench_results/BENCH_soak.json)"
+
 # Docs-consistency gate: every BENCH_*.json a smoke stage emitted must
 # have its schema documented in docs/BUILDING.md — a new bench artifact
 # cannot land without its format being written down.
@@ -114,5 +128,21 @@ for artifact in bench_results/BENCH_*.json; do
   fi
 done
 echo "docs-consistency: OK (all emitted BENCH_*.json schemas documented)"
+
+# Sanitizer pass: the compaction/checkpoint code paths move treap slabs,
+# recycle handles and rebuild state from byte streams — exactly the code
+# where a stale pointer or uninitialised read hides from a plain build.
+# Build a second tree with ASan+UBSan and run the suites that exercise
+# prefix compaction, checkpoint/restore and the stream engine end to end.
+cd "${ROOT}"
+SAN_DIR="${BUILD_DIR}-asan"
+rm -rf "${SAN_DIR}"
+cmake -B "${SAN_DIR}" -S . -DPSS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug > /dev/null
+cmake --build "${SAN_DIR}" -j --target test_compaction test_stream test_interval_store
+cd "${SAN_DIR}"
+UBSAN_OPTIONS=halt_on_error=1 ./test_compaction > /dev/null
+UBSAN_OPTIONS=halt_on_error=1 ./test_stream > /dev/null
+UBSAN_OPTIONS=halt_on_error=1 ./test_interval_store > /dev/null
+echo "sanitizers: OK (ASan+UBSan clean on compaction/restore/stream suites)"
 
 echo "tier-1: OK"

@@ -66,13 +66,15 @@ void CurveSegmentTree::clear() {
   nodes_.clear();
   root_ = kNull;
   synced_handles_ = 0;
+  live_count_ = 0;
   stats_ = Stats{};
 }
 
 void CurveSegmentTree::mark_dirty(Handle h) {
   // A handle the tree has not absorbed yet will be inserted stale on the
-  // next query, so an early mark needs no record.
-  if (std::size_t(h) >= nodes_.size()) return;
+  // next query, so an early mark needs no record; a dead slot's mark is
+  // moot (its rebirth re-enters stale).
+  if (!contains(h)) return;
   nodes_[h].self_stale = true;
   for (Handle cur = h; cur != kNull; cur = nodes_[cur].parent) {
     if (nodes_[cur].stale) break;  // invariant: stale implies stale ancestors
@@ -106,13 +108,22 @@ void CurveSegmentTree::rotate_up(Handle h) {
 }
 
 void CurveSegmentTree::insert_node(Handle h, double key) {
-  PSS_REQUIRE(std::size_t(h) == nodes_.size(),
-              "handles must be absorbed in allocation order");
+  // Fresh handles extend the slab in allocation order; a recycled handle
+  // overwrites its dead slot (absorb_recycled is the only caller that can
+  // pass one).
+  const bool fresh = std::size_t(h) == nodes_.size();
+  PSS_REQUIRE(fresh || (std::size_t(h) < nodes_.size() && !nodes_[h].live),
+              "handles must be absorbed in allocation order or recycled");
   Node node;
   node.key = key;
+  node.live = true;
   if (root_ == kNull) {
-    nodes_.push_back(node);
+    if (fresh)
+      nodes_.push_back(node);
+    else
+      nodes_[h] = node;
     root_ = h;
+    ++live_count_;
     return;
   }
   Handle cur = root_;
@@ -123,11 +134,15 @@ void CurveSegmentTree::insert_node(Handle h, double key) {
     if (child == kNull) {
       child = h;
       node.parent = cur;
-      nodes_.push_back(node);
+      if (fresh)
+        nodes_.push_back(node);
+      else
+        nodes_[h] = node;
       break;
     }
     cur = child;
   }
+  ++live_count_;
   // The whole insertion path gains a new descendant: mark it stale without
   // the early exit, so the stale-implies-stale-ancestors invariant that
   // mark_dirty's early exit relies on survives the rotations below.
@@ -138,27 +153,81 @@ void CurveSegmentTree::insert_node(Handle h, double key) {
     rotate_up(h);
 }
 
+void CurveSegmentTree::erase(Handle h) {
+  if (!contains(h)) return;
+  // The whole ancestor path loses a descendant; pre-mark it stale so the
+  // rotations below (which only restale the two rotated nodes) cannot
+  // break the stale-implies-stale-ancestors invariant.
+  for (Handle p = h; p != kNull; p = nodes_[p].parent)
+    nodes_[p].stale = true;
+  // Rotate the node down to a leaf, promoting the higher-priority child so
+  // the heap invariant holds everywhere else, then detach it.
+  while (nodes_[h].left != kNull || nodes_[h].right != kNull) {
+    const Handle l = nodes_[h].left;
+    const Handle r = nodes_[h].right;
+    Handle child;
+    if (l == kNull)
+      child = r;
+    else if (r == kNull)
+      child = l;
+    else
+      child = priority_of(l) > priority_of(r) ? l : r;
+    rotate_up(child);
+  }
+  const Handle p = nodes_[h].parent;
+  if (p == kNull) {
+    root_ = kNull;
+  } else {
+    if (nodes_[p].left == h)
+      nodes_[p].left = kNull;
+    else
+      nodes_[p].right = kNull;
+  }
+  nodes_[h] = Node{};  // releases the summary vectors; live = false
+  --live_count_;
+}
+
+void CurveSegmentTree::dirty_predecessor(double key) {
+  // If the just-inserted handle came from a split, its in-order
+  // predecessor is the left half: same handle as before, new length and
+  // divided loads, and no notification fires for it. Dirty the predecessor
+  // unconditionally; for appends/prepends that merely recombines one clean
+  // interval.
+  Handle cur = root_;
+  Handle pred = kNull;
+  while (cur != kNull) {
+    if (nodes_[cur].key < key) {
+      pred = cur;
+      cur = nodes_[cur].right;
+    } else {
+      cur = nodes_[cur].left;
+    }
+  }
+  if (pred != kNull) mark_dirty(pred);
+}
+
+void CurveSegmentTree::absorb_recycled(Handle h, double key) {
+  PSS_REQUIRE(std::size_t(h) < nodes_.size() && !nodes_[h].live,
+              "absorb_recycled needs a dead absorbed slot");
+  insert_node(h, key);
+  dirty_predecessor(key);
+  ++stats_.nodes_absorbed;
+}
+
 void CurveSegmentTree::absorb_new_handles(const model::IntervalStore& store) {
   const std::size_t space = store.handle_space();
   while (synced_handles_ < space) {
     const Handle h = Handle(synced_handles_++);
+    // A handle can retire (or even retire-then-recycle-then-retire) before
+    // its first query-time absorption; dead slots are skipped here and
+    // re-enter through absorb_recycled when the store recycles them.
+    if (!store.is_live(h)) {
+      if (std::size_t(h) == nodes_.size()) nodes_.emplace_back();
+      continue;
+    }
     const double key = store.start_of(h);
     insert_node(h, key);
-    // If this handle came from a split, its in-order predecessor is the
-    // left half: same handle as before, new length and divided loads, and
-    // no notification fires for it. Dirty the predecessor unconditionally;
-    // for appends/prepends that merely recombines one clean interval.
-    Handle cur = root_;
-    Handle pred = kNull;
-    while (cur != kNull) {
-      if (nodes_[cur].key < key) {
-        pred = cur;
-        cur = nodes_[cur].right;
-      } else {
-        cur = nodes_[cur].left;
-      }
-    }
-    if (pred != kNull) mark_dirty(pred);
+    dirty_predecessor(key);
     ++stats_.nodes_absorbed;
   }
 }
@@ -364,7 +433,7 @@ CapacityBounds CurveSegmentTree::window_capacity_bounds(
   PSS_REQUIRE(window.last <= store.num_intervals(), "window exceeds store");
   PSS_REQUIRE(speed > 0.0, "speed must be positive");
   absorb_new_handles(store);
-  PSS_CHECK(nodes_.size() == store.num_intervals(),
+  PSS_CHECK(live_count_ == store.num_intervals(),
             "segment tree drifted from store");
   if (nodes_[root_].stale) pull(root_, store, curve_of);
   const double klo = nodes_[store.handle_at(window.first)].key;

@@ -52,6 +52,13 @@
 // Dirty subtree summaries recombine lazily on the next query, bottom-up,
 // so a wide accepted arrival costs the following query O(window) once —
 // amortized against the arrival's own Ω(window) commit.
+//
+// Horizon compaction extends the discipline with retirement: erase(h)
+// prunes a retired interval's node (its summary memory is released and the
+// slot marked dead), and a handle the store later recycles re-enters
+// through absorb_recycled — the store's recycled-birth log, replayed by
+// core::CurveCache, is what bridges the two, since slab-prefix growth can
+// no longer discover a rebirth below the synced watermark.
 #pragma once
 
 #include <cstddef>
@@ -94,7 +101,27 @@ class CurveSegmentTree {
   void clear();
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  /// Number of live (non-erased) nodes.
+  [[nodiscard]] std::size_t live_size() const { return live_count_; }
+  /// True iff handle `h` currently has a live node.
+  [[nodiscard]] bool contains(Handle h) const {
+    return std::size_t(h) < nodes_.size() && nodes_[h].live;
+  }
+  /// Watermark of the store handle-space prefix absorbed so far; handles
+  /// below it only re-enter through absorb_recycled.
+  [[nodiscard]] std::size_t synced_handles() const { return synced_handles_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Prunes a retired interval's node: releases its summaries, marks the
+  /// slot dead, and restales the ancestor path. No-op if `h` was never
+  /// absorbed. O(log n) expected.
+  void erase(Handle h);
+
+  /// Re-absorbs a handle the store recycled after compaction (the slab
+  /// prefix walk cannot see rebirths below the synced watermark). Inserts
+  /// the node stale and dirties its in-order predecessor, exactly like a
+  /// prefix absorption. `h` must not currently be live.
+  void absorb_recycled(Handle h, double key);
 
   /// Marks interval `h`'s committed loads as changed; its subtree
   /// summaries recombine on the next query. O(unstale ancestors),
@@ -145,6 +172,7 @@ class CurveSegmentTree {
     Handle left = kNull;
     Handle right = kNull;
     Handle parent = kNull;
+    bool live = false;       // false marks a dead (erased) slab slot
     bool stale = true;       // subtree aggregate needs recombining
     bool self_stale = true;  // own loads changed: rebuild `self` first
     Summary self;  // this interval's curve, compressed once per epoch
@@ -153,6 +181,7 @@ class CurveSegmentTree {
 
   void insert_node(Handle h, double key);
   void rotate_up(Handle h);
+  void dirty_predecessor(double key);
   void absorb_new_handles(const model::IntervalStore& store);
   void pull(Handle h, const model::IntervalStore& store,
             const CurveFn& curve_of);
@@ -174,6 +203,7 @@ class CurveSegmentTree {
   std::vector<Node> nodes_;  // slab indexed by store handle
   Handle root_ = kNull;
   std::size_t synced_handles_ = 0;  // prefix of the store's handle space
+  std::size_t live_count_ = 0;      // live nodes (erased slots excluded)
   std::vector<double> scratch_xs_;      // combine work buffer
   std::vector<double> scratch_packed_;  // compress output buffer
   Stats stats_;

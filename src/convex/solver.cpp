@@ -13,10 +13,10 @@ namespace pss::convex {
 
 double assignment_energy(const model::WorkAssignment& assignment,
                          const model::TimePartition& partition,
-                         int num_processors, double alpha) {
+                         int num_processors, double alpha, double init) {
   PSS_REQUIRE(assignment.num_intervals() == partition.num_intervals(),
               "assignment/partition mismatch");
-  double energy = 0.0;
+  double energy = init;
   for (std::size_t k = 0; k < partition.num_intervals(); ++k) {
     if (assignment.loads(k).empty()) continue;
     energy += chen::interval_energy(assignment.loads(k), num_processors,

@@ -53,8 +53,13 @@ struct SolverResult {
     const SolverOptions& options = {});
 
 /// Total energy of an assignment under the instance's machine (sum of P_k).
+/// `init` seeds the left-to-right accumulation — horizon compaction passes
+/// its retired-energy accumulator here, which reproduces the uncompacted
+/// sum bitwise because the evaluation is a plain in-order sum over
+/// non-empty intervals.
 [[nodiscard]] double assignment_energy(const model::WorkAssignment& assignment,
                                        const model::TimePartition& partition,
-                                       int num_processors, double alpha);
+                                       int num_processors, double alpha,
+                                       double init = 0.0);
 
 }  // namespace pss::convex

@@ -25,6 +25,70 @@ void CurveCache::reset(std::size_t num_intervals) {
   grid_early_.clear();
   offgrid_.clear();
   lazy_stats_ = LazyStats{};
+  recycled_cursor_ = 0;
+}
+
+void CurveCache::sync_recycled(const model::IntervalStore& store) {
+  const auto& log = store.recycled_births();
+  for (; recycled_cursor_ < log.size(); ++recycled_cursor_) {
+    const model::IntervalStore::Handle h = log[recycled_cursor_];
+    // Handles at or above the synced watermark are still covered by the
+    // tree's ordinary prefix absorption; dead (re-retired) or
+    // already-present ones need nothing.
+    if (std::size_t(h) >= tree_.synced_handles()) continue;
+    if (!store.is_live(h) || tree_.contains(h)) continue;
+    tree_.absorb_recycled(h, store.start_of(h));
+  }
+}
+
+void CurveCache::on_compacted(
+    model::IntervalStore& store, double frontier,
+    const std::vector<model::IntervalStore::Handle>& freed) {
+  for (const model::IntervalStore::Handle h : freed) {
+    if (std::size_t(h) < handle_entries_.size()) handle_entries_[h] = Entry{};
+    tree_.erase(h);
+  }
+  // Off-grid records behind the frontier are unreachable: every future
+  // window starts at or after it, so lazy_virgin_uniform can never probe
+  // them again. (Dropping them is conservative-neutral — the records only
+  // ever veto the fast path.)
+  offgrid_.erase(offgrid_.begin(), offgrid_.lower_bound(frontier));
+  // Reconcile rebirths now so the log can be truncated; between
+  // compactions the windowed query path drains it incrementally.
+  sync_recycled(store);
+  store.clear_recycled_births();
+  recycled_cursor_ = 0;
+}
+
+CurveCache::LazyState CurveCache::lazy_state() const {
+  LazyState s;
+  s.pending.reserve(pending_.size());
+  for (const auto& [t0, p] : pending_)
+    s.pending.push_back({t0, p.t1, p.job, p.amount, p.first_amount});
+  s.extent_set = extent_set_;
+  s.extent_lo = extent_lo_;
+  s.extent_hi = extent_hi_;
+  s.grid_unit = grid_unit_;
+  s.grid_dead = grid_dead_;
+  s.grid_early = grid_early_;
+  s.offgrid.assign(offgrid_.begin(), offgrid_.end());
+  s.stats = lazy_stats_;
+  return s;
+}
+
+void CurveCache::restore_lazy_state(const LazyState& s) {
+  pending_.clear();
+  for (const LazyState::PendingRange& p : s.pending)
+    pending_.emplace(p.t0, Pending{p.t1, p.job, p.amount, p.first_amount});
+  boundary_was_new_ = false;  // handshake flag never spans an operation
+  extent_set_ = s.extent_set;
+  extent_lo_ = s.extent_lo;
+  extent_hi_ = s.extent_hi;
+  grid_unit_ = s.grid_unit;
+  grid_dead_ = s.grid_dead;
+  grid_early_ = s.grid_early;
+  offgrid_ = std::set<double>(s.offgrid.begin(), s.offgrid.end());
+  lazy_stats_ = s.stats;
 }
 
 namespace {
@@ -217,6 +281,7 @@ const util::PiecewiseLinear& CurveCache::validated_curve(
 convex::CapacityBounds CurveCache::window_capacity_bounds(
     const model::IntervalStore& store, int num_processors,
     model::IntervalRange window, double speed) {
+  sync_recycled(store);
   tree_store_ = &store;
   tree_procs_ = num_processors;
   return tree_.window_capacity_bounds(

@@ -116,6 +116,18 @@ class CurveCache {
     return tree_;
   }
 
+  // -- horizon compaction (indexed backend) --------------------------------
+
+  /// Cache-side half of a prefix compaction the owner just ran on the
+  /// store: releases the freed handles' cached curves, prunes their tree
+  /// nodes, garbage-collects off-grid records behind the frontier (no
+  /// future window can start before it), and reconciles the store's
+  /// recycled-birth log. The owner must have materialized every lazy
+  /// annotation behind the frontier before compacting (retired loads feed
+  /// the retired-energy accumulator).
+  void on_compacted(model::IntervalStore& store, double frontier,
+                    const std::vector<model::IntervalStore::Handle>& freed);
+
   // -- lazy water-level annotations (PdOptions::lazy, indexed backend) -----
   //
   // An accepted virgin-uniform-window job is recorded as ONE range
@@ -191,6 +203,31 @@ class CurveCache {
   }
   [[nodiscard]] const LazyStats& lazy_stats() const { return lazy_stats_; }
 
+  // -- checkpoint (src/io/state_io) ----------------------------------------
+
+  /// Plain-data image of the lazy annotation machinery — everything that
+  /// affects future decisions (pending annotations, committed extent, grid
+  /// detection). Cached curves and tree summaries are deliberately NOT
+  /// part of it: they are derived state, and a cold rebuild serves
+  /// decision-identical certificates (only hit/prune counters can differ).
+  struct LazyState {
+    struct PendingRange {
+      double t0 = 0.0, t1 = 0.0;
+      model::JobId job = -1;
+      double amount = 0.0, first_amount = 0.0;
+    };
+    std::vector<PendingRange> pending;
+    bool extent_set = false;
+    double extent_lo = 0.0, extent_hi = 0.0;
+    double grid_unit = 0.0;
+    bool grid_dead = false;
+    std::vector<double> grid_early;
+    std::vector<double> offgrid;
+    LazyStats stats;
+  };
+  [[nodiscard]] LazyState lazy_state() const;
+  void restore_lazy_state(const LazyState& s);
+
  private:
   struct Entry {
     bool built = false;
@@ -208,6 +245,7 @@ class CurveCache {
   // the lambda captures only `this` and stays heap-free).
   const model::IntervalStore* tree_store_ = nullptr;
   int tree_procs_ = 0;
+  std::size_t recycled_cursor_ = 0;  // store recycled-birth log entries seen
   Stats stats_;
 
   // -- lazy water-level state ----------------------------------------------
@@ -221,6 +259,7 @@ class CurveCache {
   void classify_boundary(double t);
   void materialize(model::IntervalStore& store,
                    std::map<double, Pending>::iterator it);
+  void sync_recycled(const model::IntervalStore& store);
 
   bool lazy_enabled_ = false;
   bool boundary_was_new_ = false;  // before_/after_boundary handshake

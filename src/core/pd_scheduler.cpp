@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chen/interval_schedule.hpp"
 #include "chen/realize.hpp"
 #include "convex/solver.hpp"
 #include "convex/water_fill.hpp"
@@ -19,7 +20,8 @@ PdScheduler::PdScheduler(model::Machine machine, PdOptions options)
       incremental_(options.incremental),
       indexed_(options.indexed),
       windowed_(options.windowed && options.indexed),
-      lazy_(options.lazy && options.indexed) {
+      lazy_(options.lazy && options.indexed),
+      record_decisions_(options.record_decisions) {
   PSS_REQUIRE(machine_.num_processors >= 1, "need at least one processor");
   PSS_REQUIRE(machine_.alpha > 1.0, "alpha must exceed 1");
   PSS_REQUIRE(delta_ > 0.0, "delta must be positive");
@@ -33,12 +35,55 @@ void PdScheduler::ensure_boundary(double t) {
   state_.ensure_boundary(t, &cache_);
 }
 
-void PdScheduler::advance_to(double t) {
-  PSS_REQUIRE(first_arrival_ || t >= last_release_ - 1e-12,
+void PdScheduler::advance_to(double t, bool compact) {
+  PSS_REQUIRE(std::isfinite(t), "advance target must be finite");
+  PSS_REQUIRE(first_arrival_ ||
+                  t >= last_release_ - util::clock_tol(last_release_),
               "advance_to must move the clock forward");
-  ensure_boundary(t);
+  // Structure-free on purpose: a pure clock advance inserts no boundary
+  // and dirties no cache, so heartbeat ticks cannot grow the partition.
   first_arrival_ = false;
   last_release_ = std::max(last_release_, t);
+  if (compact && indexed_) compact_before(t - util::clock_tol(t));
+}
+
+void PdScheduler::compact_before(double frontier) {
+  model::IntervalStore& store = state_.store;
+  if (store.num_intervals() == 0) return;
+  // Fast exit for the common per-tick case: nothing retires.
+  if (store.end_of(store.front_handle()) > frontier) return;
+  // Lazy annotations reaching behind the frontier must land as real loads
+  // first, so the retired-energy walk below sees them and the split
+  // arithmetic never needs a retired interval again.
+  if (lazy_) cache_.lazy_materialize_range(store, -util::kInf, frontier);
+  // Retired prefix energy, accumulated left to right with the same
+  // skip-empty order assignment_energy uses: planned_energy() continuing
+  // from this accumulator reproduces the uncompacted sum bitwise.
+  for (model::IntervalStore::Handle h = store.front_handle();
+       h != model::IntervalStore::kNoHandle && store.end_of(h) <= frontier;
+       h = store.next_handle(h)) {
+    if (store.loads(h).empty()) continue;
+    retired_energy_ +=
+        chen::interval_energy(store.loads(h), machine_.num_processors,
+                              store.length_of(h), machine_.alpha);
+  }
+  freed_scratch_.clear();
+  const std::size_t retired = store.compact_before(frontier, freed_scratch_);
+  if (retired == 0) return;
+  cache_.on_compacted(store, frontier, freed_scratch_);
+  ++counters_.compactions;
+  counters_.compacted_intervals += static_cast<long long>(retired);
+  // An accepted id whose whole window is behind the frontier holds no load
+  // in any live interval, so the all-loads screen is valid for it again;
+  // dropping the record bounds the map by the live window.
+  if (windowed_) {
+    for (auto it = accepted_ids_.begin(); it != accepted_ids_.end();) {
+      if (it->second <= frontier)
+        it = accepted_ids_.erase(it);
+      else
+        ++it;
+    }
+  }
 }
 
 void PdScheduler::reset() {
@@ -50,7 +95,9 @@ void PdScheduler::reset() {
   cache_.reset(0);
   accepted_ids_.clear();
   decisions_.clear();
+  freed_scratch_.clear();
   counters_ = PdCounters{};
+  retired_energy_ = 0.0;
   last_release_ = -1.0;
   first_arrival_ = true;
 }
@@ -58,7 +105,10 @@ void PdScheduler::reset() {
 ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   PSS_REQUIRE(job.deadline > job.release, "bad job window");
   PSS_REQUIRE(job.work > 0.0, "job work must be positive");
-  PSS_REQUIRE(!first_arrival_ ? job.release >= last_release_ - 1e-12 : true,
+  PSS_REQUIRE(!first_arrival_
+                  ? job.release >=
+                        last_release_ - util::clock_tol(last_release_)
+                  : true,
               "jobs must arrive in nondecreasing release order");
   last_release_ = std::max(last_release_, job.release);
 
@@ -119,7 +169,10 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
             job.work * util::pos_pow(fill.level, alpha - 1.0);
         cache_.lazy_commit(job.release, job.deadline, job.id, fill.amount,
                            fill.first_amount);
-        if (windowed_) accepted_ids_.insert(job.id);
+        if (windowed_) {
+          double& dl = accepted_ids_[job.id];
+          dl = std::max(dl, job.deadline);
+        }
       } else {
         decision.accepted = false;
         decision.speed = s_reject;
@@ -177,7 +230,10 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
         if (windowed_) cache_.note_load_changed(h);
         h = state_.store.next_handle(h);
       }
-      if (windowed_) accepted_ids_.insert(job.id);
+      if (windowed_) {
+        double& dl = accepted_ids_[job.id];
+        dl = std::max(dl, job.deadline);
+      }
       if (lazy_) cache_.note_commit_extent(job.release, job.deadline);
     } else {
       for (std::size_t i = 0; i < window.size(); ++i)
@@ -196,7 +252,7 @@ ArrivalDecision PdScheduler::on_arrival(const model::Job& job) {
   counters_.max_intervals =
       std::max(counters_.max_intervals, state_.num_intervals());
   counters_.max_window = std::max(counters_.max_window, window.size());
-  decisions_.push_back({job.id, decision});
+  if (record_decisions_) decisions_.push_back({job.id, decision});
   return decision;
 }
 
@@ -216,7 +272,7 @@ double PdScheduler::planned_energy() const {
     flush_lazy();
     return convex::assignment_energy(
         state_.store.snapshot_assignment(), state_.store.snapshot_partition(),
-        machine_.num_processors, machine_.alpha);
+        machine_.num_processors, machine_.alpha, retired_energy_);
   }
   return convex::assignment_energy(state_.assignment, state_.partition,
                                    machine_.num_processors, machine_.alpha);

@@ -19,8 +19,9 @@
 #pragma once
 
 #include <algorithm>
+#include <iosfwd>
 #include <optional>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "core/curve_cache.hpp"
@@ -29,6 +30,17 @@
 #include "model/schedule.hpp"
 #include "model/time_partition.hpp"
 #include "model/work_assignment.hpp"
+
+namespace pss::core {
+class PdScheduler;
+}
+namespace pss::io {
+// Binary checkpoint of a scheduler session (src/io/state_io.cpp); friends
+// of PdScheduler because a restore must reproduce the private state
+// bit-for-bit.
+void save_scheduler(std::ostream& os, const core::PdScheduler& s);
+void load_scheduler(std::istream& is, core::PdScheduler& s);
+}  // namespace pss::io
 
 namespace pss::core {
 
@@ -76,6 +88,11 @@ struct PdOptions {
   /// proves it. This is what makes accept-heavy wide-window streams
   /// sub-linear per accept (bench_accept_scale / BENCH_accept.json).
   bool lazy = true;
+  /// Keep the per-arrival decision log behind decisions() (and the
+  /// rejected marks of final_schedule()). The log grows one entry per
+  /// arrival forever, so indefinitely-running serving layers turn it off —
+  /// it is the one piece of state horizon compaction cannot bound.
+  bool record_decisions = true;
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -92,6 +109,8 @@ struct PdCounters {
   long long lazy_fast_path = 0;  // arrivals decided by the closed-form replay
   long long lazy_commits = 0;           // accepts recorded as annotations
   long long lazy_materializations = 0;  // annotations expanded into loads
+  long long compactions = 0;           // advance_to passes that retired work
+  long long compacted_intervals = 0;   // intervals retired behind the frontier
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
 
@@ -110,6 +129,8 @@ struct PdCounters {
     lazy_fast_path += other.lazy_fast_path;
     lazy_commits += other.lazy_commits;
     lazy_materializations += other.lazy_materializations;
+    compactions += other.compactions;
+    compacted_intervals += other.compacted_intervals;
     max_intervals = std::max(max_intervals, other.max_intervals);
     max_window = std::max(max_window, other.max_window);
     return *this;
@@ -141,11 +162,17 @@ class PdScheduler {
   /// Processes one arrival and commits the decision.
   ArrivalDecision on_arrival(const model::Job& job);
 
-  /// Advances the scheduler to time t without an arrival: t becomes a
-  /// boundary of the online partition (extending the horizon if needed) and
-  /// the release-order monotonicity clock moves forward. Lets a serving
-  /// layer keep idle sessions aligned with wall-clock time.
-  void advance_to(double t);
+  /// Advances the release-order monotonicity clock to t without an arrival
+  /// — structure-free: no boundary is inserted and no cache is dirtied, so
+  /// a periodic heartbeat leaves the partition exactly as arrivals built
+  /// it. With compact = true (indexed backend; inert otherwise, like
+  /// windowed/lazy), additionally retires every interval ending at or
+  /// before the frontier t - util::clock_tol(t): the retired prefix's
+  /// energy moves into retired_energy(), its store/cache/tree state is
+  /// reclaimed, and — because any future arrival has release within
+  /// clock_tol of t or later — every subsequent decision is bitwise
+  /// identical to the uncompacted run (tests/test_compaction.cpp).
+  void advance_to(double t, bool compact = false);
 
   /// Returns the scheduler to its freshly-constructed state (machine, delta
   /// and mode are kept). The session-reuse entry point for the stream
@@ -176,13 +203,30 @@ class PdScheduler {
   [[nodiscard]] bool windowed() const { return windowed_; }
   [[nodiscard]] bool lazy() const { return lazy_; }
 
-  /// Total energy of the committed plan (sum of interval P_k).
+  /// Total energy of the committed plan (sum of interval P_k), including
+  /// the energy of intervals retired by compaction. Bitwise identical to
+  /// the uncompacted engine's value: the accumulator continues the same
+  /// left-to-right non-empty-interval summation assignment_energy runs.
   [[nodiscard]] double planned_energy() const;
+
+  /// Energy already accounted to compacted (retired) intervals.
+  [[nodiscard]] double retired_energy() const { return retired_energy_; }
+
+  /// Live (non-retired) interval count — the flat-memory soak metric.
+  [[nodiscard]] std::size_t live_intervals() const {
+    return state_.num_intervals();
+  }
+  /// Slab footprint proxy: handle-space of the indexed store (0 on the
+  /// contiguous backend). Stays bounded under steady-state compaction
+  /// because freed handles are recycled.
+  [[nodiscard]] std::size_t handle_space() const {
+    return indexed_ ? state_.store.handle_space() : 0;
+  }
 
   /// Concrete migration schedule realizing the committed plan.
   [[nodiscard]] model::Schedule final_schedule() const;
 
-  /// Decisions in arrival order.
+  /// Decisions in arrival order (empty when record_decisions is off).
   [[nodiscard]] const std::vector<std::pair<model::JobId, ArrivalDecision>>&
   decisions() const {
     return decisions_;
@@ -191,7 +235,15 @@ class PdScheduler {
   [[nodiscard]] const PdCounters& counters() const { return counters_; }
 
  private:
+  friend void io::save_scheduler(std::ostream&, const core::PdScheduler&);
+  friend void io::load_scheduler(std::istream&, core::PdScheduler&);
+
   void ensure_boundary(double t);
+  /// Retires every interval ending at or before `frontier`: accumulates
+  /// their energy, reclaims store/cache/tree state, and drops accepted-id
+  /// records whose whole window is behind the frontier (their loads cannot
+  /// appear in any live window, so the screen is valid for them again).
+  void compact_before(double frontier);
   /// Materializes every pending lazy annotation. Logically const: it only
   /// moves already-decided state between representations (annotation ->
   /// per-interval loads) and cannot change any observable value, which is
@@ -204,19 +256,24 @@ class PdScheduler {
   bool indexed_;
   bool windowed_;
   bool lazy_;
+  bool record_decisions_;
   OnlineState state_;
   CurveCache cache_;
-  // Job ids this scheduler has accepted (windowed mode only). The segment
-  // tree bounds describe the all-loads curves, so the screen is valid only
-  // for a job with no committed load in the window; a re-arriving accepted
-  // id skips the screen and takes the exact re-placement path.
-  std::unordered_set<model::JobId> accepted_ids_;
+  // Job ids this scheduler has accepted, with the latest deadline seen
+  // (windowed mode only). The segment tree bounds describe the all-loads
+  // curves, so the screen is valid only for a job with no committed load
+  // in the window; a re-arriving accepted id skips the screen and takes
+  // the exact re-placement path. Compaction erases records whose deadline
+  // is behind the frontier, bounding the map by the live window.
+  std::unordered_map<model::JobId, double> accepted_ids_;
   // Snapshot buffers backing the partition()/assignment() accessors on the
   // indexed backend (cold path; see the accessor comment).
   mutable model::TimePartition partition_snapshot_;
   mutable model::WorkAssignment assignment_snapshot_;
   std::vector<std::pair<model::JobId, ArrivalDecision>> decisions_;
+  std::vector<model::IntervalStore::Handle> freed_scratch_;  // compaction
   PdCounters counters_;
+  double retired_energy_ = 0.0;
   double last_release_ = -1.0;
   bool first_arrival_ = true;
 };

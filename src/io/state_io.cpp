@@ -1,0 +1,317 @@
+#include "io/state_io.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace pss::io {
+
+void write_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  write_u64(os, static_cast<std::uint64_t>(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  write_u64(os, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint8_t read_u8(std::istream& is) {
+  const int c = is.get();
+  PSS_REQUIRE(c != std::char_traits<char>::eof(), "truncated checkpoint");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char b[8];
+  is.read(b, 8);
+  PSS_REQUIRE(is.gcount() == 8, "truncated checkpoint");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t(static_cast<unsigned char>(b[i])) << (8 * i);
+  return v;
+}
+
+std::int64_t read_i64(std::istream& is) {
+  return static_cast<std::int64_t>(read_u64(is));
+}
+
+double read_f64(std::istream& is) {
+  return std::bit_cast<double>(read_u64(is));
+}
+
+namespace {
+
+void write_bool(std::ostream& os, bool v) { write_u8(os, v ? 1 : 0); }
+
+bool read_bool(std::istream& is) {
+  const std::uint8_t v = read_u8(is);
+  PSS_REQUIRE(v <= 1, "corrupt checkpoint: bad bool");
+  return v != 0;
+}
+
+// Bounds a container count against a truncated/corrupt stream before any
+// allocation happens (a garbage u64 must not turn into a 2^60 reserve).
+std::uint64_t read_count(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  PSS_REQUIRE(n <= (std::uint64_t(1) << 40), "corrupt checkpoint: count");
+  return n;
+}
+
+}  // namespace
+
+void save_counters(std::ostream& os, const core::PdCounters& c) {
+  write_i64(os, c.arrivals);
+  write_i64(os, c.accepted);
+  write_i64(os, c.rejected);
+  write_i64(os, c.interval_splits);
+  write_i64(os, c.horizon_extensions);
+  write_i64(os, c.curve_cache_hits);
+  write_i64(os, c.curve_cache_rebuilds);
+  write_i64(os, c.window_prunes);
+  write_i64(os, c.window_exact);
+  write_i64(os, c.lazy_fast_path);
+  write_i64(os, c.lazy_commits);
+  write_i64(os, c.lazy_materializations);
+  write_i64(os, c.compactions);
+  write_i64(os, c.compacted_intervals);
+  write_u64(os, c.max_intervals);
+  write_u64(os, c.max_window);
+}
+
+void load_counters(std::istream& is, core::PdCounters& c) {
+  c.arrivals = read_i64(is);
+  c.accepted = read_i64(is);
+  c.rejected = read_i64(is);
+  c.interval_splits = read_i64(is);
+  c.horizon_extensions = read_i64(is);
+  c.curve_cache_hits = read_i64(is);
+  c.curve_cache_rebuilds = read_i64(is);
+  c.window_prunes = read_i64(is);
+  c.window_exact = read_i64(is);
+  c.lazy_fast_path = read_i64(is);
+  c.lazy_commits = read_i64(is);
+  c.lazy_materializations = read_i64(is);
+  c.compactions = read_i64(is);
+  c.compacted_intervals = read_i64(is);
+  c.max_intervals = static_cast<std::size_t>(read_u64(is));
+  c.max_window = static_cast<std::size_t>(read_u64(is));
+}
+
+namespace {
+
+void save_loads(std::ostream& os, const std::vector<model::Load>& loads) {
+  write_u64(os, loads.size());
+  for (const model::Load& l : loads) {
+    write_i64(os, l.job);
+    write_f64(os, l.amount);
+  }
+}
+
+void save_lazy(std::ostream& os, const core::CurveCache::LazyState& lz) {
+  write_u64(os, lz.pending.size());
+  for (const auto& p : lz.pending) {
+    write_f64(os, p.t0);
+    write_f64(os, p.t1);
+    write_i64(os, p.job);
+    write_f64(os, p.amount);
+    write_f64(os, p.first_amount);
+  }
+  write_bool(os, lz.extent_set);
+  write_f64(os, lz.extent_lo);
+  write_f64(os, lz.extent_hi);
+  write_f64(os, lz.grid_unit);
+  write_bool(os, lz.grid_dead);
+  write_u64(os, lz.grid_early.size());
+  for (double t : lz.grid_early) write_f64(os, t);
+  write_u64(os, lz.offgrid.size());
+  for (double t : lz.offgrid) write_f64(os, t);
+  write_i64(os, lz.stats.commits);
+  write_i64(os, lz.stats.materializations);
+}
+
+core::CurveCache::LazyState load_lazy(std::istream& is) {
+  core::CurveCache::LazyState lz;
+  lz.pending.resize(read_count(is));
+  for (auto& p : lz.pending) {
+    p.t0 = read_f64(is);
+    p.t1 = read_f64(is);
+    p.job = static_cast<model::JobId>(read_i64(is));
+    p.amount = read_f64(is);
+    p.first_amount = read_f64(is);
+  }
+  lz.extent_set = read_bool(is);
+  lz.extent_lo = read_f64(is);
+  lz.extent_hi = read_f64(is);
+  lz.grid_unit = read_f64(is);
+  lz.grid_dead = read_bool(is);
+  lz.grid_early.resize(read_count(is));
+  for (double& t : lz.grid_early) t = read_f64(is);
+  lz.offgrid.resize(read_count(is));
+  for (double& t : lz.offgrid) t = read_f64(is);
+  lz.stats.commits = read_i64(is);
+  lz.stats.materializations = read_i64(is);
+  return lz;
+}
+
+}  // namespace
+
+void save_scheduler(std::ostream& os, const core::PdScheduler& s) {
+  // Configuration fingerprint: a restore target must be an identically
+  // configured scheduler, or the replayed state would mean something else.
+  write_i64(os, s.machine_.num_processors);
+  write_f64(os, s.machine_.alpha);
+  write_f64(os, s.delta_);
+  write_bool(os, s.incremental_);
+  write_bool(os, s.indexed_);
+  write_bool(os, s.windowed_);
+  write_bool(os, s.lazy_);
+  write_bool(os, s.record_decisions_);
+
+  write_bool(os, s.first_arrival_);
+  write_f64(os, s.last_release_);
+  write_f64(os, s.retired_energy_);
+  write_i64(os, s.state_.interval_splits);
+  write_i64(os, s.state_.horizon_extensions);
+
+  // Partition boundaries in time order, then per-interval loads in the
+  // same order. Load vectors keep their in-interval order (commit order) —
+  // interval_energy sums them left to right, so order is part of the
+  // bitwise contract.
+  if (s.indexed_) {
+    const model::IntervalStore& store = s.state_.store;
+    const std::size_t nb = store.num_boundaries();
+    write_u64(os, nb);
+    if (nb > 0) {
+      write_f64(os, store.front_boundary());
+      for (auto h = store.front_handle(); h != model::IntervalStore::kNoHandle;
+           h = store.next_handle(h))
+        write_f64(os, store.end_of(h));
+    }
+    write_u64(os, store.num_intervals());
+    for (auto h = store.front_handle(); h != model::IntervalStore::kNoHandle;
+         h = store.next_handle(h))
+      save_loads(os, store.loads(h));
+  } else {
+    const auto& boundaries = s.state_.partition.boundaries();
+    write_u64(os, boundaries.size());
+    for (double b : boundaries) write_f64(os, b);
+    write_u64(os, s.state_.assignment.num_intervals());
+    for (std::size_t k = 0; k < s.state_.assignment.num_intervals(); ++k)
+      save_loads(os, s.state_.assignment.loads(k));
+  }
+
+  // Accepted-id records in ascending id order (deterministic bytes).
+  std::vector<std::pair<model::JobId, double>> accepted(
+      s.accepted_ids_.begin(), s.accepted_ids_.end());
+  std::sort(accepted.begin(), accepted.end());
+  write_u64(os, accepted.size());
+  for (const auto& [id, deadline] : accepted) {
+    write_i64(os, id);
+    write_f64(os, deadline);
+  }
+
+  write_u64(os, s.decisions_.size());
+  for (const auto& [id, d] : s.decisions_) {
+    write_i64(os, id);
+    write_bool(os, d.accepted);
+    write_f64(os, d.speed);
+    write_f64(os, d.lambda);
+    write_f64(os, d.planned_energy);
+  }
+
+  save_lazy(os, s.cache_.lazy_state());
+  save_counters(os, s.counters_);
+}
+
+void load_scheduler(std::istream& is, core::PdScheduler& s) {
+  PSS_REQUIRE(read_i64(is) == s.machine_.num_processors,
+              "checkpoint machine mismatch");
+  PSS_REQUIRE(read_f64(is) == s.machine_.alpha, "checkpoint alpha mismatch");
+  PSS_REQUIRE(read_f64(is) == s.delta_, "checkpoint delta mismatch");
+  PSS_REQUIRE(read_bool(is) == s.incremental_ && read_bool(is) == s.indexed_ &&
+                  read_bool(is) == s.windowed_ && read_bool(is) == s.lazy_ &&
+                  read_bool(is) == s.record_decisions_,
+              "checkpoint mode flags mismatch");
+
+  s.reset();
+  s.first_arrival_ = read_bool(is);
+  s.last_release_ = read_f64(is);
+  s.retired_energy_ = read_f64(is);
+  const std::int64_t splits = read_i64(is);
+  const std::int64_t extensions = read_i64(is);
+
+  // Rebuild the partition through the live refinement path (left to right:
+  // one bootstrap, then appends), so the restored structure is exactly
+  // what the online code would have built from these boundaries. The
+  // counters it bumps along the way are overwritten below.
+  const std::uint64_t nb = read_count(is);
+  double prev = 0.0;
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    const double b = read_f64(is);
+    PSS_REQUIRE(i == 0 || b > prev, "corrupt checkpoint: boundaries");
+    prev = b;
+    s.state_.ensure_boundary(b, &s.cache_);
+  }
+  const std::uint64_t ni = read_count(is);
+  PSS_REQUIRE(ni == s.state_.num_intervals(),
+              "corrupt checkpoint: interval count");
+  if (s.indexed_) {
+    auto h = s.state_.store.front_handle();
+    for (std::uint64_t k = 0; k < ni; ++k, h = s.state_.store.next_handle(h)) {
+      const std::uint64_t nl = read_count(is);
+      for (std::uint64_t j = 0; j < nl; ++j) {
+        const auto job = static_cast<model::JobId>(read_i64(is));
+        const double amount = read_f64(is);
+        s.state_.store.set_load(h, job, amount);
+      }
+    }
+  } else {
+    for (std::uint64_t k = 0; k < ni; ++k) {
+      const std::uint64_t nl = read_count(is);
+      for (std::uint64_t j = 0; j < nl; ++j) {
+        const auto job = static_cast<model::JobId>(read_i64(is));
+        const double amount = read_f64(is);
+        s.state_.assignment.set_load(static_cast<std::size_t>(k), job, amount);
+      }
+    }
+  }
+  s.state_.interval_splits = splits;
+  s.state_.horizon_extensions = extensions;
+
+  const std::uint64_t na = read_count(is);
+  for (std::uint64_t i = 0; i < na; ++i) {
+    const auto id = static_cast<model::JobId>(read_i64(is));
+    s.accepted_ids_[id] = read_f64(is);
+  }
+
+  s.decisions_.resize(read_count(is));
+  for (auto& [id, d] : s.decisions_) {
+    id = static_cast<model::JobId>(read_i64(is));
+    d.accepted = read_bool(is);
+    d.speed = read_f64(is);
+    d.lambda = read_f64(is);
+    d.planned_energy = read_f64(is);
+  }
+
+  // Restored last: overwrites whatever grid classification the boundary
+  // replay above accumulated with the live run's exact lazy image.
+  s.cache_.restore_lazy_state(load_lazy(is));
+  load_counters(is, s.counters_);
+}
+
+}  // namespace pss::io

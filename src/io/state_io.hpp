@@ -1,0 +1,60 @@
+// Binary checkpoint/restore of live scheduler state.
+//
+// A steady-state serving process (src/stream) runs for days; restarting it
+// must not replay days of traffic. This module serializes the *semantic*
+// state of a PD session — partition boundaries, committed loads, lazy
+// annotations, accepted-id records, counters, the monotonicity clock and
+// the retired-energy accumulator — and restores it into a
+// freshly-constructed scheduler so that every subsequent decision and
+// energy is bitwise identical to the uninterrupted run.
+//
+// Derived state is deliberately NOT serialized: cached insertion curves
+// and segment-tree summaries rebuild cold on first touch through the same
+// epoch-validated code path a live run uses, so a restore can only change
+// hit/prune *counters*, never a decision (the certified screens fall back
+// to exact arithmetic whenever a certificate is missing).
+//
+// Wire format: little-endian fixed-width scalars, no padding, no varints.
+//   u8/u64/i64  — unsigned / two's-complement integers
+//   f64         — IEEE-754 binary64 bit pattern in a u64
+// Container = u64 count followed by the elements in deterministic order
+// (time order for intervals, ascending id for maps). Identical state
+// therefore serializes to identical bytes, which the round-trip tests
+// check directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace pss::core {
+class PdScheduler;
+struct PdCounters;
+}  // namespace pss::core
+
+namespace pss::io {
+
+// -- primitives (shared by the stream layer's own container framing) -------
+void write_u8(std::ostream& os, std::uint8_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_i64(std::ostream& os, std::int64_t v);
+void write_f64(std::ostream& os, double v);
+[[nodiscard]] std::uint8_t read_u8(std::istream& is);
+[[nodiscard]] std::uint64_t read_u64(std::istream& is);
+[[nodiscard]] std::int64_t read_i64(std::istream& is);
+[[nodiscard]] double read_f64(std::istream& is);
+
+/// Full PdCounters image, fixed field order.
+void save_counters(std::ostream& os, const core::PdCounters& c);
+void load_counters(std::istream& is, core::PdCounters& c);
+
+/// Serializes one scheduler session. The stream must be binary-clean
+/// (std::ios::binary on files).
+void save_scheduler(std::ostream& os, const core::PdScheduler& s);
+
+/// Restores a blob written by save_scheduler into `s`, which must have
+/// been constructed with the same machine, delta and mode flags (checked;
+/// throws std::invalid_argument on mismatch or a truncated stream). Any
+/// prior state of `s` is discarded.
+void load_scheduler(std::istream& is, core::PdScheduler& s);
+
+}  // namespace pss::io

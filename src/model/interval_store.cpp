@@ -10,8 +10,41 @@ namespace pss::model {
 void IntervalStore::clear() {
   index_.clear();
   payload_.clear();
+  recycled_log_.clear();
   end_ = 0.0;
   lone_boundary_.reset();
+}
+
+void IntervalStore::adopt_payload(Handle h) {
+  if (std::size_t(h) < payload_.size()) {
+    // Recycled slot. Its loads were cleared when the old tenant retired;
+    // the epoch keeps advancing so no cache entry from a previous tenant
+    // can ever validate against the new one.
+    ++payload_[h].epoch;
+    recycled_log_.push_back(h);
+  } else {
+    payload_.emplace_back();
+  }
+}
+
+std::size_t IntervalStore::compact_before(double frontier,
+                                          std::vector<Handle>& freed) {
+  std::size_t retired = 0;
+  while (!index_.empty()) {
+    const Handle h = index_.front();
+    if (end_of(h) > frontier) break;
+    payload_[h].loads.clear();
+    ++payload_[h].epoch;
+    index_.erase(h);
+    freed.push_back(h);
+    ++retired;
+  }
+  if (retired > 0 && index_.empty()) {
+    // Everything retired: the back boundary becomes the bootstrap boundary,
+    // so the next refinement grows the horizon exactly as it would have.
+    lone_boundary_ = end_;
+  }
+  return retired;
 }
 
 IntervalStore::Refinement IntervalStore::ensure_boundary(double t) {
@@ -25,8 +58,7 @@ IntervalStore::Refinement IntervalStore::ensure_boundary(double t) {
     if (*lone_boundary_ == t) return Refinement::kNoop;
     const double lo = std::min(*lone_boundary_, t);
     const double hi = std::max(*lone_boundary_, t);
-    index_.insert(lo);
-    push_payload();
+    adopt_payload(index_.insert(lo));
     end_ = hi;
     lone_boundary_.reset();
     return Refinement::kBootstrap;
@@ -34,16 +66,14 @@ IntervalStore::Refinement IntervalStore::ensure_boundary(double t) {
   if (t == end_) return Refinement::kNoop;
   if (t > end_) {
     // Horizon extension right: new empty interval [old back, t).
-    index_.insert(end_);
-    push_payload();
+    adopt_payload(index_.insert(end_));
     end_ = t;
     return Refinement::kAppend;
   }
   const Handle at = index_.last_leq(t);
   if (at == kNoHandle) {
     // Horizon extension left: new empty interval [t, old front).
-    index_.insert(t);
-    push_payload();
+    adopt_payload(index_.insert(t));
     return Refinement::kPrepend;
   }
   if (index_.key(at) == t) return Refinement::kNoop;
@@ -55,7 +85,7 @@ IntervalStore::Refinement IntervalStore::ensure_boundary(double t) {
   const double hi = end_of(at);
   const double frac = (t - lo) / (hi - lo);
   const Handle right = index_.insert(t);
-  push_payload();
+  adopt_payload(right);
   Payload& left_payload = payload_[at];
   Payload& right_payload = payload_[right];
   right_payload.loads = left_payload.loads;

@@ -66,6 +66,28 @@ class IntervalStore {
   /// its handle, the right half gets a fresh one, and both epochs advance.
   Refinement ensure_boundary(double t);
 
+  /// Retires every interval whose end is <= frontier, front to back,
+  /// appending the freed handles to `freed`. Freed slots keep a bumped
+  /// epoch (a stale cache entry can never validate against them) and their
+  /// handles are recycled by later refinements, so steady-state serving
+  /// holds O(live intervals) slab memory. If everything retires, the back
+  /// boundary survives as the bootstrap boundary, so future refinements
+  /// extend from the old horizon exactly like the uncompacted store.
+  /// Returns the number of intervals retired.
+  std::size_t compact_before(double frontier, std::vector<Handle>& freed);
+
+  /// True iff `h` addresses a live (non-retired) interval.
+  [[nodiscard]] bool is_live(Handle h) const { return index_.is_live(h); }
+
+  /// Handles recycled by refinements since the last clear_recycled_births()
+  /// — the birth log slab-keyed caches replay to learn that an id they
+  /// once absorbed now names a brand-new interval. Empty until the first
+  /// compaction ever frees a handle.
+  [[nodiscard]] const std::vector<Handle>& recycled_births() const {
+    return recycled_log_;
+  }
+  void clear_recycled_births() { recycled_log_.clear(); }
+
   // -- partition queries (positions, contiguous-compatible semantics) ------
   [[nodiscard]] std::size_t num_intervals() const { return index_.size(); }
   [[nodiscard]] std::size_t num_boundaries() const {
@@ -91,6 +113,10 @@ class IntervalStore {
   /// In-order walk; kNoHandle after the last interval. Amortized O(1) per
   /// step over a window scan.
   [[nodiscard]] Handle next_handle(Handle h) const { return index_.next(h); }
+  /// First interval in time order, or kNoHandle when there are none.
+  [[nodiscard]] Handle front_handle() const {
+    return index_.empty() ? kNoHandle : index_.front();
+  }
   [[nodiscard]] double start_of(Handle h) const { return index_.key(h); }
   [[nodiscard]] double end_of(Handle h) const {
     const Handle n = index_.next(h);
@@ -132,11 +158,13 @@ class IntervalStore {
     std::uint64_t epoch = 0;
   };
 
-  /// Allocates the payload slot for a node id just handed out by index_.
-  void push_payload() { payload_.emplace_back(); }
+  /// Claims the payload slot for a node id just handed out by index_ —
+  /// either a fresh slab slot or a recycled one (logged for cache replay).
+  void adopt_payload(Handle h);
 
   util::OrderIndex index_;        // keys = interval start times; ids = handles
   std::vector<Payload> payload_;  // indexed by handle
+  std::vector<Handle> recycled_log_;  // handles reborn since last cache replay
   double end_ = 0.0;              // end of the last interval (back boundary)
   std::optional<double> lone_boundary_;  // bootstrap: one boundary, no interval
 };

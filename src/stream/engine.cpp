@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <istream>
+#include <ostream>
 
+#include "io/state_io.hpp"
 #include "util/assert.hpp"
 
 namespace pss::stream {
@@ -107,6 +110,108 @@ void StreamEngine::stop() {
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
   finished_ = true;
+}
+
+namespace {
+// "PSSCKPT1" as a little-endian u64 — version byte last.
+constexpr std::uint64_t kCheckpointMagic = 0x3154504B43535350ull;
+}  // namespace
+
+void StreamEngine::checkpoint(std::ostream& os) {
+  PSS_REQUIRE(!finished_, "engine already finished");
+  // After drain() every worker has applied all ops it will ever see until
+  // the next enqueue, and a worker facing an empty ring never touches its
+  // session table — so the tables are quiescent for the reads below. The
+  // stats-mutex handshake inside drain() ordered the workers' session
+  // writes before them.
+  drain();
+  io::write_u64(os, kCheckpointMagic);
+  io::write_u64(os, options_.num_shards);
+  io::write_i64(os, options_.machine.num_processors);
+  io::write_f64(os, options_.machine.alpha);
+  io::write_u8(os, options_.scheduler.delta.has_value() ? 1 : 0);
+  io::write_f64(os, options_.scheduler.delta.value_or(0.0));
+  io::write_u8(os, options_.scheduler.incremental ? 1 : 0);
+  io::write_u8(os, options_.scheduler.indexed ? 1 : 0);
+  io::write_u8(os, options_.scheduler.windowed ? 1 : 0);
+  io::write_u8(os, options_.scheduler.lazy ? 1 : 0);
+  io::write_u8(os, options_.record_decisions ? 1 : 0);
+  for (auto& shard : shards_) {
+    ShardSnapshot p;
+    {
+      std::lock_guard lock(shard->stats_mutex);
+      p = shard->published;
+    }
+    io::write_i64(os, shard->enqueued.load(std::memory_order_relaxed));
+    io::write_i64(os, shard->queue_rejects.load(std::memory_order_relaxed));
+    io::write_i64(os, shard->full_waits.load(std::memory_order_relaxed));
+    io::write_i64(os, p.processed);
+    io::write_i64(os, p.batches);
+    io::write_i64(os, p.op_errors);
+    io::write_i64(os, p.arrivals);
+    io::write_i64(os, p.accepted);
+    io::write_i64(os, p.rejected);
+    io::write_f64(os, p.decision_energy);
+    io::write_i64(os, p.closed_streams);
+    io::write_f64(os, p.closed_energy);
+    io::save_counters(os, p.counters);
+    shard->sessions.checkpoint(os);
+  }
+}
+
+void StreamEngine::restore(std::istream& is) {
+  PSS_REQUIRE(!finished_, "engine already finished");
+  for (auto& shard : shards_) {
+    PSS_REQUIRE(shard->enqueued.load(std::memory_order_relaxed) == 0,
+                "restore target engine must be fresh");
+  }
+  PSS_REQUIRE(io::read_u64(is) == kCheckpointMagic,
+              "not a PSS checkpoint (bad magic)");
+  PSS_REQUIRE(io::read_u64(is) == options_.num_shards,
+              "checkpoint shard count mismatch");
+  PSS_REQUIRE(io::read_i64(is) == options_.machine.num_processors &&
+                  io::read_f64(is) == options_.machine.alpha,
+              "checkpoint machine mismatch");
+  const bool has_delta = io::read_u8(is) != 0;
+  const double delta = io::read_f64(is);
+  PSS_REQUIRE(has_delta == options_.scheduler.delta.has_value() &&
+                  delta == options_.scheduler.delta.value_or(0.0),
+              "checkpoint delta mismatch");
+  PSS_REQUIRE((io::read_u8(is) != 0) == options_.scheduler.incremental &&
+                  (io::read_u8(is) != 0) == options_.scheduler.indexed &&
+                  (io::read_u8(is) != 0) == options_.scheduler.windowed &&
+                  (io::read_u8(is) != 0) == options_.scheduler.lazy &&
+                  (io::read_u8(is) != 0) == options_.record_decisions,
+              "checkpoint mode flags mismatch");
+  for (auto& shard : shards_) {
+    const long long enqueued = io::read_i64(is);
+    shard->queue_rejects.store(io::read_i64(is), std::memory_order_relaxed);
+    shard->full_waits.store(io::read_i64(is), std::memory_order_relaxed);
+    ShardSnapshot p;
+    p.processed = io::read_i64(is);
+    p.batches = io::read_i64(is);
+    p.op_errors = io::read_i64(is);
+    p.arrivals = io::read_i64(is);
+    p.accepted = io::read_i64(is);
+    p.rejected = io::read_i64(is);
+    p.decision_energy = io::read_f64(is);
+    p.closed_streams = io::read_i64(is);
+    p.closed_energy = io::read_f64(is);
+    io::load_counters(is, p.counters);
+    // The worker only touches its session table when the ring hands it an
+    // op; this engine has accepted no traffic, so the table is ours to
+    // fill. The ring's release/acquire pair on the next enqueue publishes
+    // these writes to the worker.
+    shard->sessions.restore(is);
+    p.open_streams = shard->sessions.num_open();
+    {
+      std::lock_guard lock(shard->stats_mutex);
+      shard->published = p;
+    }
+    // drain() waits for processed >= enqueued; the restored tallies must
+    // keep that invariant (they were drained-equal at checkpoint time).
+    shard->enqueued.store(enqueued, std::memory_order_relaxed);
+  }
 }
 
 std::vector<StreamResult> StreamEngine::finish() {
@@ -220,7 +325,10 @@ void StreamEngine::worker_loop(Shard& shard) {
             break;
           }
           case ShardOp::Kind::kAdvance:
-            shard.sessions.advance(op.stream, op.time);
+            // The table contains malformed advances itself (returns false
+            // instead of throwing), so a bad clock never reaches the
+            // batch-level catch — but it still counts as an op error.
+            if (!shard.sessions.advance(op.stream, op.time)) ++op_errors;
             break;
           case ShardOp::Kind::kClose: {
             const StreamResult* result = shard.sessions.close(op.stream);

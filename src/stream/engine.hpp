@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -136,6 +137,22 @@ class StreamEngine {
 
   /// Blocks until every op enqueued so far has been applied.
   void drain();
+
+  /// Drains every in-flight op, then serializes the engine's full state —
+  /// open sessions, pending results, published tallies — as one binary
+  /// image (src/io/state_io.hpp wire format). The engine keeps serving
+  /// afterwards. Producer-side call (same thread as feed/advance): the
+  /// drain is what makes the worker-owned session tables quiescent, so no
+  /// op may be enqueued concurrently.
+  void checkpoint(std::ostream& os);
+
+  /// Restores a checkpoint() image into this engine, which must be freshly
+  /// constructed (no traffic yet) with the same shard count, machine and
+  /// scheduler options (checked; throws std::invalid_argument otherwise).
+  /// A restored engine's subsequent decisions and energies are bitwise
+  /// identical to the uninterrupted run's; certification counters may
+  /// differ (caches restart cold). Producer-side call.
+  void restore(std::istream& is);
 
   /// Drains, stops the workers, and returns every finalized StreamResult
   /// sorted by stream id. The engine accepts no traffic afterwards;

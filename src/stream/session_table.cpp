@@ -1,5 +1,13 @@
 #include "stream/session_table.hpp"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/state_io.hpp"
+#include "util/assert.hpp"
+
 namespace pss::stream {
 
 core::PdScheduler& SessionTable::session(StreamId id) {
@@ -21,7 +29,15 @@ core::ArrivalDecision SessionTable::feed(StreamId id, const model::Job& job) {
   return session(id).on_arrival(job);
 }
 
-void SessionTable::advance(StreamId id, double t) { session(id).advance_to(t); }
+bool SessionTable::advance(StreamId id, double t) {
+  core::PdScheduler& scheduler = session(id);
+  try {
+    scheduler.advance_to(t, /*compact=*/true);
+  } catch (const std::invalid_argument&) {
+    return false;  // precondition violation: this op only; session serves on
+  }
+  return true;
+}
 
 const StreamResult* SessionTable::close(StreamId id) {
   auto it = open_.find(id);
@@ -38,6 +54,70 @@ const StreamResult* SessionTable::close(StreamId id) {
   free_.push_back(std::move(it->second));
   open_.erase(it);
   return &completed_.back();
+}
+
+void SessionTable::checkpoint(std::ostream& os) const {
+  std::vector<StreamId> ids;
+  ids.reserve(open_.size());
+  for (const auto& [id, scheduler] : open_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  io::write_u64(os, ids.size());
+  for (StreamId id : ids) {
+    io::write_u64(os, id);
+    io::save_scheduler(os, *open_.at(id));
+  }
+  io::write_i64(os, num_closed_);
+  io::write_u64(os, completed_.size());
+  for (const StreamResult& r : completed_) {
+    io::write_u64(os, r.id);
+    io::save_counters(os, r.counters);
+    io::write_f64(os, r.planned_energy);
+    io::write_u64(os, r.decisions.size());
+    for (const auto& [job, d] : r.decisions) {
+      io::write_i64(os, job);
+      io::write_u8(os, d.accepted ? 1 : 0);
+      io::write_f64(os, d.speed);
+      io::write_f64(os, d.lambda);
+      io::write_f64(os, d.planned_energy);
+    }
+  }
+}
+
+namespace {
+// Count sanity ahead of any allocation (a corrupt stream must not turn a
+// garbage u64 into a giant resize).
+std::uint64_t read_count(std::istream& is) {
+  const std::uint64_t n = io::read_u64(is);
+  PSS_REQUIRE(n <= (std::uint64_t(1) << 40), "corrupt checkpoint: count");
+  return n;
+}
+}  // namespace
+
+void SessionTable::restore(std::istream& is) {
+  PSS_REQUIRE(open_.empty() && completed_.empty() && num_closed_ == 0,
+              "restore target table must be empty");
+  const std::uint64_t n_open = read_count(is);
+  for (std::uint64_t i = 0; i < n_open; ++i) {
+    const auto id = static_cast<StreamId>(io::read_u64(is));
+    io::load_scheduler(is, session(id));
+  }
+  num_closed_ = io::read_i64(is);
+  const std::uint64_t n_completed = read_count(is);
+  for (std::uint64_t i = 0; i < n_completed; ++i) {
+    StreamResult r;
+    r.id = static_cast<StreamId>(io::read_u64(is));
+    io::load_counters(is, r.counters);
+    r.planned_energy = io::read_f64(is);
+    r.decisions.resize(read_count(is));
+    for (auto& [job, d] : r.decisions) {
+      job = static_cast<model::JobId>(io::read_i64(is));
+      d.accepted = io::read_u8(is) != 0;
+      d.speed = io::read_f64(is);
+      d.lambda = io::read_f64(is);
+      d.planned_energy = io::read_f64(is);
+    }
+    completed_.push_back(std::move(r));
+  }
 }
 
 }  // namespace pss::stream

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <iosfwd>
 #include <iterator>
 #include <memory>
 #include <unordered_map>
@@ -43,7 +44,12 @@ class SessionTable {
                bool record_decisions)
       : machine_(machine),
         options_(options),
-        record_decisions_(record_decisions) {}
+        record_decisions_(record_decisions) {
+    // The capture flag reaches into the schedulers themselves: with it off,
+    // no per-arrival log accumulates anywhere, so an indefinitely-running
+    // stream holds O(live window) memory, not O(arrivals).
+    options_.record_decisions = record_decisions;
+  }
 
   /// Opens a session explicitly (idempotent). feed() auto-opens, so this
   /// exists for callers that want the session to exist before traffic.
@@ -53,8 +59,13 @@ class SessionTable {
   core::ArrivalDecision feed(StreamId id, const model::Job& job);
 
   /// Advances the stream's horizon to time t (opens the session if needed,
-  /// so an idle stream can still track the clock).
-  void advance(StreamId id, double t);
+  /// so an idle stream can still track the clock) and compacts the
+  /// session's retired prefix — the steady-state GC driver: every advance
+  /// retires the intervals that can no longer intersect a future window.
+  /// A malformed advance (non-finite t, or t behind the session's clock)
+  /// is contained here: it returns false and leaves the session serving,
+  /// instead of letting the precondition throw poison the whole batch.
+  bool advance(StreamId id, double t);
 
   /// Finalizes the stream into completed() and recycles its scheduler.
   /// Returns the finalized result, or nullptr if the id has no session.
@@ -75,6 +86,15 @@ class SessionTable {
     completed_.clear();
     return out;
   }
+
+  /// Serializes every open session (sorted by stream id), the completed
+  /// results not yet taken, and the close tally. Binary format of
+  /// src/io/state_io.hpp.
+  void checkpoint(std::ostream& os) const;
+  /// Restores a checkpoint() image into this table, which must be empty
+  /// and configured identically (machine/options checked per session;
+  /// throws std::invalid_argument on mismatch).
+  void restore(std::istream& is);
 
  private:
   core::PdScheduler& session(StreamId id);

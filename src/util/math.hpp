@@ -32,6 +32,13 @@ namespace pss::util {
   return a <= b + atol + rtol * std::max(std::abs(a), std::abs(b));
 }
 
+/// Monotonicity slack for a clock reading near `t`. An absolute 1e-12 is
+/// meaningless once timestamps grow (ulp(1e9) ~ 1.2e-7), so the slack
+/// scales with |t|, degenerating to the old absolute bound near the origin.
+[[nodiscard]] inline double clock_tol(double t) {
+  return 1e-12 * std::max(1.0, std::abs(t));
+}
+
 /// x^p for x >= 0; guards the pow(0, p) corner and negative zero noise.
 [[nodiscard]] inline double pos_pow(double x, double p) {
   if (x <= 0.0) return 0.0;

@@ -40,11 +40,19 @@ void OrderIndex::rotate_up(NodeId id) {
 
 OrderIndex::NodeId OrderIndex::insert(double key) {
   PSS_REQUIRE(nodes_.size() < std::size_t(kNull), "order index full");
-  const NodeId id = NodeId(nodes_.size());
+  // A freed slot is recycled only after the descent succeeds, so a thrown
+  // PSS_REQUIRE leaves both the tree and the free list untouched.
+  const NodeId id =
+      free_.empty() ? NodeId(nodes_.size()) : free_.back();
   Node node;
   node.key = key;
   if (root_ == kNull) {
-    nodes_.push_back(node);
+    if (free_.empty())
+      nodes_.push_back(node);
+    else {
+      free_.pop_back();
+      nodes_[id] = node;
+    }
     root_ = id;
     return id;
   }
@@ -59,7 +67,12 @@ OrderIndex::NodeId OrderIndex::insert(double key) {
     if (child == kNull) {
       child = id;
       node.parent = cur;
-      nodes_.push_back(node);
+      if (free_.empty())
+        nodes_.push_back(node);
+      else {
+        free_.pop_back();
+        nodes_[id] = node;
+      }
       break;
     }
     cur = child;
@@ -71,6 +84,37 @@ OrderIndex::NodeId OrderIndex::insert(double key) {
          priority_of(nodes_[id].parent) < prio)
     rotate_up(id);
   return id;
+}
+
+void OrderIndex::erase(NodeId id) {
+  PSS_REQUIRE(is_live(id), "erase of a dead or out-of-range node");
+  // Rotate the node down to a leaf, always promoting the higher-priority
+  // child so the heap invariant holds everywhere else, then detach it.
+  while (nodes_[id].left != kNull || nodes_[id].right != kNull) {
+    const NodeId l = nodes_[id].left;
+    const NodeId r = nodes_[id].right;
+    NodeId child;
+    if (l == kNull)
+      child = r;
+    else if (r == kNull)
+      child = l;
+    else
+      child = priority_of(l) > priority_of(r) ? l : r;
+    rotate_up(child);
+  }
+  const NodeId p = nodes_[id].parent;
+  if (p == kNull) {
+    root_ = kNull;
+  } else {
+    if (nodes_[p].left == id)
+      nodes_[p].left = kNull;
+    else
+      nodes_[p].right = kNull;
+  }
+  for (NodeId a = p; a != kNull; a = nodes_[a].parent) --nodes_[a].count;
+  nodes_[id] = Node{};
+  nodes_[id].count = 0;  // dead slot: is_live(id) is now false
+  free_.push_back(id);
 }
 
 OrderIndex::NodeId OrderIndex::find(double key) const {

@@ -15,13 +15,16 @@
 //   next / prev       O(log n) worst,     in-order neighbours; amortized
 //                                         O(1) over a full in-order scan
 //   front / back      O(log n)
+//   erase             O(log n) expected   retire a key; its id is recycled
 //
-// There is no erase: the interval store only ever refines (splits, appends,
-// prepends), so keys are only added. clear() drops everything at once.
+// Erased ids go onto a free list and are handed out again by later inserts,
+// so the slab footprint is bounded by the peak number of *live* keys — the
+// property horizon compaction relies on. A dead slot answers is_live(id)
+// false until its id is reused.
 //
 // Priorities are derived from the node id through the splitmix64 finalizer,
-// so the tree shape is a deterministic function of the insertion sequence —
-// runs are reproducible without any global RNG state.
+// so the tree shape is a deterministic function of the insertion/erase
+// sequence — runs are reproducible without any global RNG state.
 #pragma once
 
 #include <cstddef>
@@ -35,18 +38,35 @@ class OrderIndex {
   using NodeId = std::uint32_t;
   static constexpr NodeId kNull = 0xffffffffu;
 
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  /// Number of live keys (erased slots excluded).
+  [[nodiscard]] std::size_t size() const { return count_of(root_); }
+  [[nodiscard]] bool empty() const { return root_ == kNull; }
+
+  /// Total slab slots ever allocated (live + dead awaiting reuse). Ids are
+  /// always < slab_size().
+  [[nodiscard]] std::size_t slab_size() const { return nodes_.size(); }
+
+  /// True iff `id` currently addresses a live key.
+  [[nodiscard]] bool is_live(NodeId id) const {
+    return std::size_t(id) < nodes_.size() && nodes_[id].count > 0;
+  }
 
   /// Drops all keys (slab storage is kept for reuse).
   void clear() {
     nodes_.clear();
+    free_.clear();
     root_ = kNull;
   }
 
   /// Inserts a key that must not already be present; returns its stable id.
-  /// Ids are allocated densely: 0, 1, 2, ... in insertion order.
+  /// Ids are allocated densely (0, 1, 2, ... in insertion order) until an
+  /// erase happens; after that, freed ids are recycled LIFO before the slab
+  /// grows again.
   NodeId insert(double key);
+
+  /// Removes a live key. Its id immediately answers is_live() false and is
+  /// queued for reuse by a later insert.
+  void erase(NodeId id);
 
   /// Id of the node holding exactly `key`, or kNull.
   [[nodiscard]] NodeId find(double key) const;
@@ -76,7 +96,7 @@ class OrderIndex {
     NodeId left = kNull;
     NodeId right = kNull;
     NodeId parent = kNull;
-    std::uint32_t count = 1;  // subtree size
+    std::uint32_t count = 1;  // subtree size; 0 marks a dead (erased) slot
   };
 
   [[nodiscard]] std::uint32_t count_of(NodeId id) const {
@@ -90,6 +110,7 @@ class OrderIndex {
   void rotate_up(NodeId id);  // one rotation moving `id` above its parent
 
   std::vector<Node> nodes_;
+  std::vector<NodeId> free_;  // dead slot ids, reused LIFO
   NodeId root_ = kNull;
 };
 

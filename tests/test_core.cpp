@@ -242,12 +242,14 @@ TEST(PdScheduler, ResetReproducesAFreshScheduler) {
             fresh.counters().curve_cache_hits);
 }
 
-TEST(PdScheduler, AdvanceToExtendsHorizonAndClock) {
+TEST(PdScheduler, AdvanceToIsStructureFreeButMovesClock) {
   core::PdScheduler pd(Machine{1, 2.0});
   pd.advance_to(5.0);
   pd.advance_to(8.0);
-  EXPECT_TRUE(pd.partition().boundaries().size() >= 2);
-  // The clock moved: arrivals released before it are refused.
+  // Structure-free: a pure clock advance inserts no boundary, so heartbeat
+  // ticks cannot grow the partition.
+  EXPECT_TRUE(pd.partition().boundaries().empty());
+  // But the clock moved: arrivals released before it are refused.
   EXPECT_THROW(pd.on_arrival(Job{0, 2.0, 9.0, 1.0, util::kInf}),
                std::exception);
   const auto decision = pd.on_arrival(Job{1, 8.0, 12.0, 1.0, util::kInf});

@@ -111,6 +111,84 @@ TEST(OrderIndex, ClearEmptiesTheIndex) {
   EXPECT_EQ(id, 0u);  // ids restart after clear
 }
 
+TEST(OrderIndex, EraseAgainstSortedOracle) {
+  OrderIndex index;
+  std::vector<double> oracle;
+  util::Rng rng(4242);
+  std::vector<OrderIndex::NodeId> live;
+  for (int round = 0; round < 2000; ++round) {
+    const bool do_erase = !live.empty() && rng.bernoulli(0.45);
+    if (do_erase) {
+      const std::size_t pick =
+          std::size_t(rng.uniform_int(0, std::int64_t(live.size()) - 1));
+      const OrderIndex::NodeId id = live[pick];
+      const double key = index.key(id);
+      index.erase(id);
+      oracle.erase(std::lower_bound(oracle.begin(), oracle.end(), key));
+      live.erase(live.begin() + std::ptrdiff_t(pick));
+      EXPECT_FALSE(index.is_live(id));
+    } else {
+      double key;
+      do {
+        key = rng.uniform(0.0, 1000.0);
+      } while (std::binary_search(oracle.begin(), oracle.end(), key));
+      live.push_back(index.insert(key));
+      oracle.insert(std::lower_bound(oracle.begin(), oracle.end(), key), key);
+    }
+    ASSERT_EQ(index.size(), oracle.size());
+  }
+  for (std::size_t pos = 0; pos < oracle.size(); ++pos) {
+    const OrderIndex::NodeId id = index.select(pos);
+    EXPECT_EQ(index.key(id), oracle[pos]);
+    EXPECT_EQ(index.rank(id), pos);
+  }
+  // Erased slots were recycled: the slab never outgrew the high-water mark
+  // of the live count by more than the churn allows.
+  EXPECT_LE(index.slab_size(), 2000u);
+}
+
+TEST(OrderIndex, EraseRecyclesIdsLifo) {
+  OrderIndex index;
+  const auto a = index.insert(1.0);
+  const auto b = index.insert(2.0);
+  const auto c = index.insert(3.0);
+  index.erase(b);
+  index.erase(a);
+  EXPECT_FALSE(index.is_live(a));
+  EXPECT_FALSE(index.is_live(b));
+  EXPECT_TRUE(index.is_live(c));
+  // LIFO free list: the most recently freed id comes back first.
+  EXPECT_EQ(index.insert(4.0), a);
+  EXPECT_EQ(index.insert(5.0), b);
+  EXPECT_EQ(index.insert(6.0), 3u);  // free list empty: fresh slot
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_EQ(index.slab_size(), 4u);
+}
+
+TEST(OrderIndex, EraseToEmptyAndRebuild) {
+  OrderIndex index;
+  std::vector<OrderIndex::NodeId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(index.insert(double(i)));
+  for (const auto id : ids) index.erase(id);
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.front(), OrderIndex::kNull);
+  EXPECT_EQ(index.size(), 0u);
+  for (int i = 0; i < 64; ++i) index.insert(double(i) + 0.5);
+  EXPECT_EQ(index.size(), 64u);
+  EXPECT_EQ(index.slab_size(), 64u);  // all slots came from the free list
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(index.key(index.select(std::size_t(i))), double(i) + 0.5);
+}
+
+TEST(OrderIndex, EraseOfDeadSlotThrows) {
+  OrderIndex index;
+  const auto a = index.insert(1.0);
+  index.insert(2.0);
+  index.erase(a);
+  EXPECT_THROW(index.erase(a), std::invalid_argument);
+  EXPECT_THROW(index.erase(99), std::invalid_argument);
+}
+
 // ------------------------------------------------------------ IntervalStore
 
 TEST(IntervalStore, BootstrapBelowTwoBoundaries) {

@@ -219,7 +219,7 @@ void run_torture(std::uint64_t seed, double alpha, int m, int steps,
     } else if (op < 73) {
       arrive(clock, 2.0, 0.01);  // rejection
     } else if (op < 85) {
-      clock += 1.0;  // idle tick: boundary without an arrival
+      clock += 1.0;  // idle tick: the clock moves, no boundary appears
       lazy.advance_to(clock);
       eager.advance_to(clock);
     } else {

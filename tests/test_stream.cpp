@@ -4,6 +4,8 @@
 // for any shard count.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -457,6 +459,190 @@ TEST(StreamEngine, ReopeningAClosedIdStartsAFreshSession) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].id, results[1].id);
   EXPECT_EQ(results[0].planned_energy, results[1].planned_energy);
+}
+
+TEST(SessionTable, MalformedAdvanceIsContainedPerOp) {
+  stream::SessionTable table(kMachine, {}, false);
+  model::Job job;
+  job.id = 0;
+  job.release = 5.0;
+  job.deadline = 9.0;
+  job.work = 1.0;
+  table.feed(7, job);
+  EXPECT_FALSE(table.advance(7, 1.0));  // behind the session clock
+  EXPECT_FALSE(table.advance(7, std::nan("")));
+  EXPECT_TRUE(table.advance(7, 6.0));  // the session still serves
+  job.id = 1;
+  job.release = 6.0;
+  table.feed(7, job);
+  const stream::StreamResult* result = table.close(7);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->counters.arrivals, 2);
+}
+
+TEST(StreamEngine, MalformedAdvanceCountsOpErrorAndServesOn) {
+  stream::StreamEngine engine(engine_options(2));
+  model::Job job;
+  job.id = 0;
+  job.release = 5.0;
+  job.deadline = 9.0;
+  job.work = 1.0;
+  engine.feed(3, job);
+  engine.advance(3, 2.0);           // behind the clock: contained, counted
+  engine.advance(3, std::nan(""));  // non-finite: contained, counted
+  engine.advance(3, 7.0);           // fine
+  job.id = 1;
+  job.release = 7.0;
+  job.deadline = 11.0;
+  engine.feed(3, job);  // the stream keeps serving after the bad ops
+  engine.close_stream(3);
+  const auto results = engine.finish();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].counters.arrivals, 2);
+  const auto snap = engine.snapshot();
+  EXPECT_EQ(snap.op_errors, 2);
+  EXPECT_EQ(snap.arrivals, 2);
+}
+
+TEST(StreamEngine, AdvanceDrivesCompactionWithoutChangingEnergy) {
+  // The engine's per-session advance is the steady-state GC driver: a
+  // stream that is periodically advanced retires its served prefix, and
+  // its close-time energy still equals the never-advanced direct replay.
+  auto config = small_config(1, 60);
+  config.jobs_per_tick = 2.0;  // releases span 30 ticks: the prefix retires
+  const auto jobs = sim::make_stream_jobs(config, 0, kMachine.alpha);
+  stream::StreamEngine engine(engine_options(1));
+  for (const model::Job& job : jobs) {
+    engine.feed(4, job);
+    engine.advance(4, job.release);  // heartbeat at every arrival's clock
+  }
+  engine.close_stream(4);
+  const auto results = engine.finish();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].counters.compactions, 0);
+
+  core::PdScheduler direct(kMachine);
+  for (const model::Job& job : jobs) direct.on_arrival(job);
+  EXPECT_EQ(results[0].planned_energy, direct.planned_energy());
+  EXPECT_EQ(results[0].counters.accepted, direct.counters().accepted);
+  EXPECT_EQ(results[0].counters.rejected, direct.counters().rejected);
+}
+
+TEST(StreamEngine, CheckpointRestoreResumesBitwise) {
+  // Serve half the traffic, checkpoint, keep serving on the original
+  // engine; restore the image into a fresh engine and serve the same
+  // second half there. Every stream must close with bitwise-identical
+  // decisions and energies — and both must match the uninterrupted run.
+  const int streams = 8;
+  stream::EngineOptions options = engine_options(4);
+  stream::StreamEngine live(options);
+  stream::StreamEngine uninterrupted(options);
+
+  std::vector<std::vector<model::Job>> per_stream;
+  for (int s = 0; s < streams; ++s)
+    per_stream.push_back(
+        sim::make_stream_jobs(small_config(streams, 40), s, kMachine.alpha));
+
+  for (int s = 0; s < streams; ++s) {
+    const auto& jobs = per_stream[std::size_t(s)];
+    for (std::size_t i = 0; i < jobs.size() / 2; ++i) {
+      live.feed(StreamId(s), jobs[i]);
+      uninterrupted.feed(StreamId(s), jobs[i]);
+    }
+    const double mid = jobs[jobs.size() / 2].release;
+    live.advance(StreamId(s), mid);  // compaction state in the image
+    uninterrupted.advance(StreamId(s), mid);
+  }
+
+  std::ostringstream blob(std::ios::binary);
+  live.checkpoint(blob);  // drains internally
+
+  stream::StreamEngine restored(options);
+  std::istringstream image(blob.str(), std::ios::binary);
+  restored.restore(image);
+
+  // The restored engine resumes exactly where the image was cut.
+  {
+    const auto a = live.snapshot();
+    const auto b = restored.snapshot();
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.decision_energy, b.decision_energy);
+    EXPECT_EQ(a.open_streams, b.open_streams);
+  }
+
+  for (int s = 0; s < streams; ++s) {
+    const auto& jobs = per_stream[std::size_t(s)];
+    for (std::size_t i = jobs.size() / 2; i < jobs.size(); ++i) {
+      live.feed(StreamId(s), jobs[i]);
+      restored.feed(StreamId(s), jobs[i]);
+      uninterrupted.feed(StreamId(s), jobs[i]);
+    }
+    live.close_stream(StreamId(s));
+    restored.close_stream(StreamId(s));
+    uninterrupted.close_stream(StreamId(s));
+  }
+  const auto ra = live.finish();
+  const auto rb = restored.finish();
+  const auto rc = uninterrupted.finish();
+  ASSERT_EQ(ra.size(), std::size_t(streams));
+  ASSERT_EQ(rb.size(), std::size_t(streams));
+  ASSERT_EQ(rc.size(), std::size_t(streams));
+  for (int s = 0; s < streams; ++s) {
+    SCOPED_TRACE("stream " + std::to_string(s));
+    const auto& a = ra[std::size_t(s)];
+    const auto& b = rb[std::size_t(s)];
+    const auto& c = rc[std::size_t(s)];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.planned_energy, b.planned_energy);
+    EXPECT_EQ(a.planned_energy, c.planned_energy);
+    EXPECT_EQ(a.counters.arrivals, b.counters.arrivals);
+    EXPECT_EQ(a.counters.accepted, b.counters.accepted);
+    EXPECT_EQ(a.counters.rejected, b.counters.rejected);
+    // Decision logs bitwise — the restored run, the checkpointed-and-
+    // continued run and the uninterrupted run all agree. (Cache/certify
+    // counters are exempt: a restored cache restarts cold.)
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    ASSERT_EQ(a.decisions.size(), c.decisions.size());
+    for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+      EXPECT_EQ(a.decisions[i].first, b.decisions[i].first);
+      EXPECT_EQ(a.decisions[i].second.accepted, b.decisions[i].second.accepted);
+      EXPECT_EQ(a.decisions[i].second.speed, b.decisions[i].second.speed);
+      EXPECT_EQ(a.decisions[i].second.lambda, b.decisions[i].second.lambda);
+      EXPECT_EQ(a.decisions[i].second.planned_energy,
+                b.decisions[i].second.planned_energy);
+      EXPECT_EQ(a.decisions[i].second.speed, c.decisions[i].second.speed);
+      EXPECT_EQ(a.decisions[i].second.lambda, c.decisions[i].second.lambda);
+    }
+  }
+}
+
+TEST(StreamEngine, RestoreRejectsMismatchedEngine) {
+  stream::StreamEngine source(engine_options(2));
+  model::Job job;
+  job.id = 0;
+  job.release = 1.0;
+  job.deadline = 5.0;
+  job.work = 1.0;
+  source.feed(1, job);
+  std::ostringstream blob(std::ios::binary);
+  source.checkpoint(blob);
+
+  stream::StreamEngine wrong_shards(engine_options(3));
+  std::istringstream is1(blob.str(), std::ios::binary);
+  EXPECT_THROW(wrong_shards.restore(is1), std::invalid_argument);
+
+  stream::EngineOptions other = engine_options(2);
+  other.machine = model::Machine{1, 3.0};
+  stream::StreamEngine wrong_machine(other);
+  std::istringstream is2(blob.str(), std::ios::binary);
+  EXPECT_THROW(wrong_machine.restore(is2), std::invalid_argument);
+
+  std::istringstream garbage(std::string("not a checkpoint"),
+                             std::ios::binary);
+  stream::StreamEngine fresh(engine_options(2));
+  EXPECT_THROW(fresh.restore(garbage), std::invalid_argument);
 }
 
 // ------------------------------------------------------------ StreamSweep
