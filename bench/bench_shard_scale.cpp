@@ -5,9 +5,12 @@
 // The workload is the dense tick-quantized regime of bench_throughput,
 // replicated across K seeded streams and fed interleaved by release tick
 // (sim::sweep_streams) — every stream shares the tick clock, so the engine
-// sees the multiplexed shape real concurrent traffic produces. Streams are
-// independent PD instances, so the work is embarrassingly parallel and the
-// engine should scale with shards until the machine runs out of cores;
+// sees the multiplexed shape real concurrent traffic produces. Since the
+// ingest front end landed, this bench runs through the same producer/shard
+// sweep driver as bench_ingest (bench/stream_sweep_json.hpp): one workload
+// generator, one timing loop, one JSON run record. Streams are independent
+// PD instances, so the work is embarrassingly parallel and the engine
+// should scale with shards until the machine runs out of cores;
 // `hardware_concurrency` is recorded in the JSON so a flat curve on a
 // small box reads as a hardware ceiling, not an engine ceiling.
 //
@@ -25,16 +28,15 @@
 //   PSS_SHARD_MAX_STREAMS  cap on the stream counts     (default 10000)
 //   PSS_SHARD_MAX_SHARDS   cap on the shard counts      (default 16)
 #include <algorithm>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
-#include "core/pd_scheduler.hpp"
 #include "sim/stream_sweep.hpp"
 #include "stream/engine.hpp"
+#include "stream_sweep_json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -45,11 +47,6 @@ using pss::stream::EngineOptions;
 
 const pss::model::Machine kMachine{4, 2.0};
 constexpr std::uint64_t kBaseSeed = 1000;  // per-stream seeds derive from it
-
-int env_int(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value ? std::atoi(value) : fallback;
-}
 
 StreamWorkloadConfig make_config(int num_streams, int jobs_per_stream) {
   StreamWorkloadConfig config;  // dense regime: 50 jobs/tick, spans 8..24
@@ -69,53 +66,6 @@ EngineOptions make_options(std::size_t shards, bool record_decisions) {
   return options;
 }
 
-// Replays every stream directly through a fresh PdScheduler and compares
-// the engine's recorded decisions bitwise.
-bool check_against_direct(const StreamWorkloadConfig& config,
-                          const StreamSweepResult& result) {
-  if (result.streams.size() != std::size_t(config.num_streams)) {
-    std::cerr << "FATAL: engine reported " << result.streams.size()
-              << " streams, expected " << config.num_streams << "\n";
-    return false;
-  }
-  for (const pss::stream::StreamResult& stream : result.streams) {
-    const auto jobs = pss::sim::make_stream_jobs(
-        config, int(stream.id), kMachine.alpha);
-    pss::core::PdScheduler direct(kMachine);
-    for (const pss::model::Job& job : jobs) direct.on_arrival(job);
-    bool same = stream.decisions.size() == direct.decisions().size() &&
-                stream.planned_energy == direct.planned_energy();
-    for (std::size_t i = 0; same && i < stream.decisions.size(); ++i) {
-      const auto& [id_e, d_e] = stream.decisions[i];
-      const auto& [id_d, d_d] = direct.decisions()[i];
-      same = id_e == id_d && d_e.accepted == d_d.accepted &&
-             d_e.speed == d_d.speed && d_e.lambda == d_d.lambda &&
-             d_e.planned_energy == d_d.planned_energy;
-    }
-    if (!same) {
-      std::cerr << "FATAL: engine diverges from direct PdScheduler on "
-                   "stream " << stream.id << "\n";
-      return false;
-    }
-  }
-  return true;
-}
-
-// Bitwise comparison of the per-stream summaries of two runs of the same
-// workload at different shard counts.
-bool same_streams(const StreamSweepResult& a, const StreamSweepResult& b) {
-  if (a.streams.size() != b.streams.size()) return false;
-  for (std::size_t i = 0; i < a.streams.size(); ++i) {
-    const auto& sa = a.streams[i];
-    const auto& sb = b.streams[i];
-    if (sa.id != sb.id || sa.planned_energy != sb.planned_energy ||
-        sa.counters.accepted != sb.counters.accepted ||
-        sa.counters.rejected != sb.counters.rejected)
-      return false;
-  }
-  return true;
-}
-
 void BM_EngineIngest(benchmark::State& state) {
   const StreamWorkloadConfig config = make_config(64, 16);
   const EngineOptions options =
@@ -133,9 +83,10 @@ BENCHMARK(BM_EngineIngest)
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs_per_stream = env_int("PSS_SHARD_JOBS", 32);
-  const int max_streams = env_int("PSS_SHARD_MAX_STREAMS", 10000);
-  const int max_shards = env_int("PSS_SHARD_MAX_SHARDS", 16);
+  const int jobs_per_stream = pss::bench::env_int("PSS_SHARD_JOBS", 32);
+  const int max_streams =
+      pss::bench::env_int("PSS_SHARD_MAX_STREAMS", 10000);
+  const int max_shards = pss::bench::env_int("PSS_SHARD_MAX_SHARDS", 16);
 
   std::vector<int> stream_counts;
   for (int streams : {1000, 10000})
@@ -160,7 +111,8 @@ int main(int argc, char** argv) {
         make_config(std::min(64, max_streams), jobs_per_stream);
     const auto result = pss::sim::sweep_streams(
         config, make_options(shard_counts.back(), true));
-    determinism_match = check_against_direct(config, result);
+    determinism_match =
+        pss::bench::check_against_direct(config, result, kMachine);
   }
 
   pss::util::Table table({"streams", "shards", "arrivals", "arr/s", "speedup",
@@ -176,11 +128,12 @@ int main(int argc, char** argv) {
     StreamSweepResult base;
     JsonValue per_shards = JsonValue::object();
     for (std::size_t shards : shard_counts) {
+      const EngineOptions options = make_options(shards, false);
       const StreamSweepResult result =
-          pss::sim::sweep_streams(config, make_options(shards, false));
+          pss::sim::sweep_streams(config, options);
       if (shards == shard_counts.front()) {
         base = result;
-      } else if (!same_streams(base, result)) {
+      } else if (!pss::bench::same_streams(base, result)) {
         determinism_match = false;
         std::cerr << "FATAL: per-stream results differ between "
                   << shard_counts.front() << " and " << shards
@@ -196,25 +149,7 @@ int main(int argc, char** argv) {
       table.add_row({(long long)num_streams, (long long)shards,
                      snap.arrivals, result.arrivals_per_sec, speedup,
                      accept_pct, snap.closed_energy});
-      JsonValue run = JsonValue::object();
-      run.set("streams", JsonValue::integer(num_streams))
-          .set("shards", JsonValue::integer((long long)shards))
-          .set("jobs_per_stream", JsonValue::integer(jobs_per_stream))
-          .set("arrivals", JsonValue::integer(snap.arrivals))
-          .set("seconds", JsonValue::number(result.seconds))
-          .set("arrivals_per_sec", JsonValue::number(result.arrivals_per_sec))
-          .set("accepted", JsonValue::integer(snap.accepted))
-          .set("rejected", JsonValue::integer(snap.rejected))
-          .set("closed_streams", JsonValue::integer(snap.closed_streams))
-          .set("closed_energy", JsonValue::number(snap.closed_energy))
-          .set("queue_rejects", JsonValue::integer(snap.queue_rejects))
-          .set("full_waits", JsonValue::integer(snap.full_waits))
-          .set("interval_splits",
-               JsonValue::integer(snap.counters.interval_splits))
-          .set("cache_hits", JsonValue::integer(snap.counters.curve_cache_hits))
-          .set("cache_rebuilds",
-               JsonValue::integer(snap.counters.curve_cache_rebuilds));
-      runs.push(std::move(run));
+      runs.push(pss::bench::sweep_run_json(config, options, result));
       if (shards != shard_counts.front())
         per_shards.set(std::to_string(shards) + "v" +
                            std::to_string(shard_counts.front()),

@@ -1,0 +1,112 @@
+// Shared producer/shard sweep driver for the serving-engine benches.
+//
+// bench_shard_scale (shard scaling at one producer) and bench_ingest
+// (producer scaling through the MPSC front end) time the SAME workload
+// through the SAME driver — sim::sweep_streams — and emit the SAME
+// per-run JSON record. This header is that single source of truth: the
+// differential guard against the direct PdScheduler, the cross-run
+// bitwise-identity check, and the one JSON run emitter both benches feed.
+// Bench-specific fields (speedups, shed rates, residency guards) layer on
+// top of the record; the workload/emitter core is never duplicated.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/pd_scheduler.hpp"
+#include "sim/stream_sweep.hpp"
+#include "stream/engine.hpp"
+
+namespace pss::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+/// Differential guard: replays every stream of `result` directly through a
+/// fresh PdScheduler and compares the engine's recorded decisions bitwise.
+/// Requires the sweep to have run with record_decisions on.
+inline bool check_against_direct(const sim::StreamWorkloadConfig& config,
+                                 const sim::StreamSweepResult& result,
+                                 const model::Machine& machine) {
+  if (result.streams.size() != std::size_t(config.num_streams)) {
+    std::cerr << "FATAL: engine reported " << result.streams.size()
+              << " streams, expected " << config.num_streams << "\n";
+    return false;
+  }
+  for (const stream::StreamResult& s : result.streams) {
+    const auto jobs = sim::make_stream_jobs(config, int(s.id), machine.alpha);
+    core::PdScheduler direct(machine);
+    for (const model::Job& job : jobs) direct.on_arrival(job);
+    bool same = s.decisions.size() == direct.decisions().size() &&
+                s.planned_energy == direct.planned_energy();
+    for (std::size_t i = 0; same && i < s.decisions.size(); ++i) {
+      const auto& [id_e, d_e] = s.decisions[i];
+      const auto& [id_d, d_d] = direct.decisions()[i];
+      same = id_e == id_d && d_e.accepted == d_d.accepted &&
+             d_e.speed == d_d.speed && d_e.lambda == d_d.lambda &&
+             d_e.planned_energy == d_d.planned_energy;
+    }
+    if (!same) {
+      std::cerr << "FATAL: engine diverges from direct PdScheduler on "
+                   "stream " << s.id << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Bitwise comparison of the per-stream summaries of two runs of the same
+/// workload at different shard/producer/spill configurations.
+inline bool same_streams(const sim::StreamSweepResult& a,
+                         const sim::StreamSweepResult& b) {
+  if (a.streams.size() != b.streams.size()) return false;
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    const auto& sa = a.streams[i];
+    const auto& sb = b.streams[i];
+    if (sa.id != sb.id || sa.planned_energy != sb.planned_energy ||
+        sa.counters.accepted != sb.counters.accepted ||
+        sa.counters.rejected != sb.counters.rejected)
+      return false;
+  }
+  return true;
+}
+
+/// The one per-run JSON record shared by BENCH_shard.json and
+/// BENCH_ingest.json (schemas in docs/BUILDING.md).
+inline JsonValue sweep_run_json(const sim::StreamWorkloadConfig& config,
+                                const stream::EngineOptions& options,
+                                const sim::StreamSweepResult& result) {
+  const auto& snap = result.snapshot;
+  JsonValue run = JsonValue::object();
+  run.set("streams", JsonValue::integer(config.num_streams))
+      .set("shards", JsonValue::integer((long long)options.num_shards))
+      .set("producers",
+           JsonValue::integer((long long)options.max_producers))
+      .set("jobs_per_stream", JsonValue::integer(config.jobs_per_stream))
+      .set("spill_budget",
+           JsonValue::integer((long long)options.spill.max_resident))
+      .set("arrivals", JsonValue::integer(snap.arrivals))
+      .set("seconds", JsonValue::number(result.seconds))
+      .set("arrivals_per_sec", JsonValue::number(result.arrivals_per_sec))
+      .set("accepted", JsonValue::integer(snap.accepted))
+      .set("rejected", JsonValue::integer(snap.rejected))
+      .set("closed_streams", JsonValue::integer(snap.closed_streams))
+      .set("closed_energy", JsonValue::number(snap.closed_energy))
+      .set("queue_rejects", JsonValue::integer(snap.queue_rejects))
+      .set("admission_rejects", JsonValue::integer(snap.admission_rejects))
+      .set("late_rejects", JsonValue::integer(snap.late_rejects))
+      .set("full_waits", JsonValue::integer(snap.full_waits))
+      .set("session_spills", JsonValue::integer(snap.session_spills))
+      .set("session_restores", JsonValue::integer(snap.session_restores))
+      .set("interval_splits",
+           JsonValue::integer(snap.counters.interval_splits))
+      .set("cache_hits", JsonValue::integer(snap.counters.curve_cache_hits))
+      .set("cache_rebuilds",
+           JsonValue::integer(snap.counters.curve_cache_rebuilds));
+  return run;
+}
+
+}  // namespace pss::bench

@@ -61,6 +61,30 @@ else
 fi
 echo "shard-smoke: OK (${BUILD_DIR}/bench_results/BENCH_shard.json)"
 
+# Ingest smoke: tiny MPSC run of the ingest front end. The driver exits
+# nonzero if per-stream results differ across producer counts (with or
+# without a spill budget), if residency exceeds the spill budget, or if
+# the admission gate lets the ring reject.
+PSS_INGEST_JOBS=6 PSS_INGEST_MAX_STREAMS=64 PSS_INGEST_MAX_PRODUCERS=4 \
+  PSS_RESULT_DIR=bench_results \
+  ./bench_ingest --benchmark_filter=NONE_ > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_ingest.json > /dev/null
+else
+  grep -q '"determinism_match": true' bench_results/BENCH_ingest.json
+fi
+# Op-log round trip through the CLI: a generated log must replay to the
+# same per-stream results twice in a row (bitwise replayability is the
+# wire format's whole contract).
+./pss_cli genlog bench_results/smoke.psslog --streams 16 --jobs 6 > /dev/null
+./pss_cli replay bench_results/smoke.psslog --shards 2 > replay_a.txt
+./pss_cli replay bench_results/smoke.psslog --shards 2 > replay_b.txt
+if ! cmp -s replay_a.txt replay_b.txt; then
+  echo "FATAL: op-log replay is not reproducible" >&2
+  exit 1
+fi
+echo "ingest-smoke: OK (${BUILD_DIR}/bench_results/BENCH_ingest.json + replayable op log)"
+
 # Horizon-scale smoke: small refinement + full-PD run of the interval-store
 # driver. The driver exits nonzero if the indexed and contiguous backends
 # ever produce different boundary sets or decisions, or if the indexed
@@ -144,5 +168,25 @@ UBSAN_OPTIONS=halt_on_error=1 ./test_compaction > /dev/null
 UBSAN_OPTIONS=halt_on_error=1 ./test_stream > /dev/null
 UBSAN_OPTIONS=halt_on_error=1 ./test_interval_store > /dev/null
 echo "sanitizers: OK (ASan+UBSan clean on compaction/restore/stream suites)"
+
+# ThreadSanitizer pass over the concurrent surface: the MPSC rings, the
+# producer handles, the shutdown gate and the engine/ingest suites that
+# hammer them from real threads. TSan needs its runtime library, which not
+# every toolchain image ships — probe first and skip (loudly) if absent
+# rather than fail the gate on a missing .a.
+cd "${ROOT}"
+if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread -o /tmp/pss_tsan_probe - 2>/dev/null; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  rm -rf "${TSAN_DIR}"
+  cmake -B "${TSAN_DIR}" -S . -DPSS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug > /dev/null
+  cmake --build "${TSAN_DIR}" -j --target test_engine test_stream test_ingest
+  cd "${TSAN_DIR}"
+  TSAN_OPTIONS=halt_on_error=1 ./test_engine > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 ./test_stream > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 ./test_ingest > /dev/null
+  echo "tsan: OK (TSan clean on engine/stream/ingest suites)"
+else
+  echo "tsan: SKIPPED (toolchain lacks -fsanitize=thread runtime)"
+fi
 
 echo "tier-1: OK"

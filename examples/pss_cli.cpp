@@ -5,26 +5,39 @@
 //   pss_cli run <algorithm> <in.pssi> [--gantt] [--csv out.csv]
 //       algorithms: pd | oa | qoa | cll | avr
 //   pss_cli validate <in.pssi>
-//   pss_cli serve [--shards N] [--streams K] [--jobs J] [--m M]
-//                 [--alpha A] [--seed S] [--reject-on-full]
+//   pss_cli serve [--shards N] [--producers P] [--streams K] [--jobs J]
+//                 [--m M] [--alpha A] [--seed S] [--reject-on-full]
+//                 [--spill B]
 //       multiplexes K independent PD job streams over N engine shards
-//       (src/stream) and prints the aggregated serving snapshot
+//       (src/stream) from P producer threads and prints the aggregated
+//       serving snapshot
+//   pss_cli genlog <out.psslog> [--streams K] [--jobs J] [--m M]
+//                  [--alpha A] [--seed S]
+//       writes the serve workload as a binary op log (src/ingest wire
+//       format) instead of feeding it live
+//   pss_cli replay <in.psslog> [--shards N] [--m M] [--alpha A]
+//       replays a binary op log through a fresh engine; per-stream results
+//       are bitwise identical to the run that produced the log
 //
 // Instances travel in the pss-instance v1 text format (src/io), so
-// workloads generated here can be replayed against external schedulers.
+// workloads generated here can be replayed against external schedulers;
+// op logs travel in the framed binary format of src/ingest/op_log.hpp.
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "baselines/algorithms.hpp"
 #include "baselines/avr.hpp"
 #include "core/run.hpp"
+#include "ingest/op_log.hpp"
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
 #include "model/schedule.hpp"
 #include "sim/stream_sweep.hpp"
 #include "stream/engine.hpp"
+#include "stream/replay.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -38,8 +51,12 @@ int usage() {
          "<n> <m> <alpha> <seed> <out.pssi>\n"
       << "  pss_cli run <pd|oa|qoa|cll|avr> <in.pssi> [--gantt] [--csv F]\n"
       << "  pss_cli validate <in.pssi>\n"
-      << "  pss_cli serve [--shards N] [--streams K] [--jobs J] [--m M] "
-         "[--alpha A] [--seed S] [--reject-on-full]\n";
+      << "  pss_cli serve [--shards N] [--producers P] [--streams K] "
+         "[--jobs J] [--m M] [--alpha A] [--seed S] [--reject-on-full] "
+         "[--spill B]\n"
+      << "  pss_cli genlog <out.psslog> [--streams K] [--jobs J] [--m M] "
+         "[--alpha A] [--seed S]\n"
+      << "  pss_cli replay <in.psslog> [--shards N] [--m M] [--alpha A]\n";
   return 2;
 }
 
@@ -142,6 +159,8 @@ int cmd_run(int argc, char** argv) {
 // shards, end to end through the stream engine.
 int cmd_serve(int argc, char** argv) {
   std::size_t shards = 4;
+  std::size_t producers = 1;
+  std::size_t spill = 0;
   int streams = 256;
   int jobs = 32;
   int m = 2;
@@ -158,6 +177,14 @@ int cmd_serve(int argc, char** argv) {
       int value = 0;
       if (!next_int(value)) return usage();
       shards = std::size_t(value);
+    } else if (!std::strcmp(argv[i], "--producers")) {
+      int value = 0;
+      if (!next_int(value)) return usage();
+      producers = std::size_t(value);
+    } else if (!std::strcmp(argv[i], "--spill")) {
+      int value = 0;
+      if (!next_int(value)) return usage();
+      spill = std::size_t(value);
     } else if (!std::strcmp(argv[i], "--streams")) {
       if (!next_int(streams)) return usage();
     } else if (!std::strcmp(argv[i], "--jobs")) {
@@ -181,6 +208,8 @@ int cmd_serve(int argc, char** argv) {
   config.base_seed = seed;
   stream::EngineOptions options;
   options.num_shards = shards;
+  options.max_producers = producers;
+  options.spill.max_resident = spill;
   options.machine = model::Machine{m, alpha};
   options.backpressure = reject_on_full ? stream::Backpressure::kReject
                                         : stream::Backpressure::kBlock;
@@ -188,19 +217,143 @@ int cmd_serve(int argc, char** argv) {
   const stream::EngineSnapshot& snap = result.snapshot;
 
   std::cout << "serving " << streams << " streams x " << jobs
-            << " jobs over " << shards << " shards (m = " << m
-            << ", alpha = " << alpha << ")\n"
+            << " jobs over " << shards << " shards, " << producers
+            << " producers (m = " << m << ", alpha = " << alpha << ")\n"
             << "arrivals      : " << snap.arrivals << " ("
             << long(result.arrivals_per_sec) << "/s)\n"
             << "accepted      : " << snap.accepted << "\n"
             << "rejected (PD) : " << snap.rejected << "\n"
             << "shed on full  : " << snap.queue_rejects << "\n"
             << "closed streams: " << snap.closed_streams << "\n"
-            << "planned energy: " << snap.closed_energy << "\n"
-            << "per-shard arrivals:";
+            << "planned energy: " << snap.closed_energy << "\n";
+  if (spill > 0)
+    std::cout << "session spills: " << snap.session_spills << " ("
+              << snap.session_restores << " restores)\n";
+  std::cout << "per-shard arrivals:";
   for (const stream::ShardSnapshot& shard : snap.shards)
     std::cout << ' ' << shard.arrivals;
   std::cout << "\n";
+  return 0;
+}
+
+// Writes the serve workload as a framed binary op log: the same jobs the
+// live sweep would feed, interleaved by release tick, one close per stream.
+int cmd_genlog(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string out_path = argv[2];
+  int streams = 256;
+  int jobs = 32;
+  int m = 2;
+  double alpha = 2.0;
+  std::uint64_t seed = 1;
+  for (int i = 3; i < argc; ++i) {
+    const auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (!std::strcmp(argv[i], "--streams")) {
+      if (!next_int(streams)) return usage();
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      if (!next_int(jobs)) return usage();
+    } else if (!std::strcmp(argv[i], "--m")) {
+      if (!next_int(m)) return usage();
+    } else if (!std::strcmp(argv[i], "--alpha") && i + 1 < argc) {
+      alpha = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  sim::StreamWorkloadConfig config;
+  config.num_streams = streams;
+  config.jobs_per_stream = jobs;
+  config.base_seed = seed;
+  std::vector<std::vector<model::Job>> stream_jobs;
+  stream_jobs.reserve(std::size_t(streams));
+  for (int s = 0; s < streams; ++s)
+    stream_jobs.push_back(sim::make_stream_jobs(config, s, alpha));
+
+  std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  ingest::OpLogWriter writer(os);
+  ingest::IngestOp op;
+  for (int i = 0; i < jobs; ++i) {
+    for (int s = 0; s < streams; ++s) {
+      op.kind = ingest::OpKind::kArrival;
+      op.stream = std::uint64_t(s);
+      op.job = stream_jobs[std::size_t(s)][std::size_t(i)];
+      writer.append(op);
+    }
+  }
+  op = ingest::IngestOp{};
+  op.kind = ingest::OpKind::kClose;
+  for (int s = 0; s < streams; ++s) {
+    op.stream = std::uint64_t(s);
+    writer.append(op);
+  }
+  std::cout << "wrote " << writer.frames_written() << " frames ("
+            << streams << " streams x " << jobs << " jobs, alpha = " << alpha
+            << ") to " << out_path << "\n";
+  return 0;
+}
+
+// Replays a binary op log through a fresh engine and prints the snapshot.
+int cmd_replay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string in_path = argv[2];
+  std::size_t shards = 4;
+  int m = 2;
+  double alpha = 2.0;
+  for (int i = 3; i < argc; ++i) {
+    const auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (!std::strcmp(argv[i], "--shards")) {
+      int value = 0;
+      if (!next_int(value)) return usage();
+      shards = std::size_t(value);
+    } else if (!std::strcmp(argv[i], "--m")) {
+      if (!next_int(m)) return usage();
+    } else if (!std::strcmp(argv[i], "--alpha") && i + 1 < argc) {
+      alpha = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream is(in_path, std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open " << in_path << "\n";
+    return 1;
+  }
+  stream::EngineOptions options;
+  options.num_shards = shards;
+  options.machine = model::Machine{m, alpha};
+  stream::StreamEngine engine(options);
+  const stream::ReplayStats stats = stream::replay_op_log(is, engine);
+  engine.drain();
+  const std::vector<stream::StreamResult> results = engine.finish();
+  const stream::EngineSnapshot snap = engine.snapshot();
+
+  double closed_energy = 0.0;
+  for (const stream::StreamResult& r : results) closed_energy += r.planned_energy;
+  std::cout << "replayed " << stats.frames << " frames over " << shards
+            << " shards (m = " << m << ", alpha = " << alpha << ")\n"
+            << "applied       : " << stats.applied << "\n"
+            << "arrival sheds : " << stats.arrival_sheds << "\n"
+            << "ckpt marks    : " << stats.marks << "\n"
+            << "accepted      : " << snap.accepted << "\n"
+            << "rejected (PD) : " << snap.rejected << "\n"
+            << "closed streams: " << results.size() << "\n"
+            << "planned energy: " << closed_energy << "\n";
   return 0;
 }
 
@@ -225,6 +378,8 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "validate") return cmd_validate(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "genlog") return cmd_genlog(argc, argv);
+    if (cmd == "replay") return cmd_replay(argc, argv);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

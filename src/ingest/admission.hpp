@@ -1,0 +1,83 @@
+// Admission control ahead of the ingestion rings.
+//
+// Backpressure (stream::Backpressure) acts *at* the ring: a full ring either
+// blocks the producer or sheds the op after the routing and framing work is
+// already done. Under sustained overload that is too late — every producer
+// ends up stalled on ring space while the shard workers drown. The admission
+// gate sheds load *before* anything is enqueued: a cheap predicate consulted
+// on every sheddable op (arrivals; control ops like open/close/advance always
+// pass, or a shed close would silently drop a whole stream's result).
+//
+// Two policies, selectable per engine (AdmissionOptions::policy):
+//
+//   kTokenBucket — classic rate limiter: `tokens_per_sec` refill toward a
+//     `burst` cap, one token per arrival, shed when the bucket is dry. The
+//     refill clock is the steady clock by default; with `manual_refill` the
+//     bucket only ever gains tokens through refill(), which makes shed
+//     decisions deterministic for tests and replay drivers.
+//   kQueueDepth — shed when the *target ring* already holds at least
+//     `max_queue_depth` ops: per-shard load shedding that engages exactly
+//     where the backlog is, while uncongested shards keep accepting.
+//
+// The gate only decides; the engine counts the sheds per shard
+// (`admission_rejects`, distinct from the post-ring `queue_rejects`) so the
+// two shedding layers stay separately observable.
+//
+// Thread contract: admit()/refill() may be called from any producer thread
+// concurrently (the token bucket serializes on an internal mutex; the
+// queue-depth policy is stateless).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace pss::ingest {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kNone,         // admit everything (the default)
+  kTokenBucket,  // rate-limit arrivals against a token bucket
+  kQueueDepth,   // shed arrivals whose target ring is already backed up
+};
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kNone;
+  /// kTokenBucket: steady refill rate and bucket capacity (the bucket also
+  /// starts full, so a burst of up to `burst` arrivals always lands).
+  double tokens_per_sec = 100000.0;
+  double burst = 1024.0;
+  /// kTokenBucket: disable the wall-clock refill; tokens arrive only via
+  /// refill(). Deterministic-by-construction shed decisions.
+  bool manual_refill = false;
+  /// kQueueDepth: shed when the target ring's depth is at least this.
+  std::size_t max_queue_depth = 1024;
+};
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(const AdmissionOptions& options);
+
+  /// Decides one sheddable op. `queue_depth` is the current depth of the
+  /// ring the op would be pushed to (only the kQueueDepth policy reads it).
+  [[nodiscard]] bool admit(std::size_t queue_depth);
+
+  /// Adds tokens to the bucket (clamped at `burst`). The manual-refill
+  /// counterpart of the wall-clock drip; harmless under other policies.
+  void refill(double tokens);
+
+  /// Current bucket level (diagnostic; racy by nature under concurrency).
+  [[nodiscard]] double tokens() const;
+
+  [[nodiscard]] const AdmissionOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  double tokens_ = 0.0;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace pss::ingest

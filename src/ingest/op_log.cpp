@@ -1,0 +1,144 @@
+#include "ingest/op_log.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "io/state_io.hpp"
+#include "util/assert.hpp"
+
+namespace pss::ingest {
+
+namespace {
+
+// "PSSOPLG1" as a little-endian u64 — version byte last.
+constexpr std::uint64_t kOpLogMagic = 0x31474C504F535350ull;
+constexpr unsigned char kFrameMagic = 0xF5;
+// Largest legal body: kind + stream + the arrival payload. Anything bigger
+// is a corrupt length field and must be refused before allocation.
+constexpr std::uint64_t kMaxBody = 4096;
+
+constexpr std::size_t kBaseSize = 1 + 8;            // kind + stream
+constexpr std::size_t kArrivalSize = kBaseSize + 40;  // id + 4 doubles
+constexpr std::size_t kAdvanceSize = kBaseSize + 8;   // time
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+unsigned char* buf(std::string& s, std::size_t at) {
+  return reinterpret_cast<unsigned char*>(s.data()) + at;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ----------------------------------------------------------------- writer
+
+OpLogWriter::OpLogWriter(std::ostream& os) : os_(os) {
+  io::write_u64(os_, kOpLogMagic);
+}
+
+void OpLogWriter::append(const IngestOp& op) {
+  switch (op.kind) {
+    case OpKind::kArrival:
+      body_.resize(kArrivalSize);
+      break;
+    case OpKind::kAdvance:
+      body_.resize(kAdvanceSize);
+      break;
+    case OpKind::kOpen:
+    case OpKind::kClose:
+    case OpKind::kCheckpointMark:
+      body_.resize(kBaseSize);
+      break;
+    default:
+      PSS_REQUIRE(false, "op log: unknown op kind");
+  }
+  body_[0] = static_cast<char>(op.kind);
+  io::store_u64(buf(body_, 1), op.stream);
+  if (op.kind == OpKind::kArrival) {
+    io::store_u64(buf(body_, 9),
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(op.job.id)));
+    io::store_f64(buf(body_, 17), op.job.release);
+    io::store_f64(buf(body_, 25), op.job.deadline);
+    io::store_f64(buf(body_, 33), op.job.work);
+    io::store_f64(buf(body_, 41), op.job.value);
+  } else if (op.kind == OpKind::kAdvance) {
+    io::store_f64(buf(body_, 9), op.time);
+  }
+  io::write_u8(os_, kFrameMagic);
+  io::write_u64(os_, body_.size());
+  os_.write(body_.data(), static_cast<std::streamsize>(body_.size()));
+  PSS_CHECK(os_.good(), "op log: write failed");
+  io::write_u64(os_, crc32(buf(body_, 0), body_.size()));
+  ++frames_;
+}
+
+// ----------------------------------------------------------------- reader
+
+OpLogReader::OpLogReader(std::istream& is) : is_(is) {
+  PSS_REQUIRE(io::read_u64(is_) == kOpLogMagic,
+              "op log: bad file magic/version");
+}
+
+bool OpLogReader::next(IngestOp& op) {
+  if (is_.peek() == std::istream::traits_type::eof()) return false;
+  PSS_REQUIRE(io::read_u8(is_) == kFrameMagic, "op log: bad frame magic");
+  const std::uint64_t body_len = io::read_u64(is_);
+  PSS_REQUIRE(body_len >= kBaseSize && body_len <= kMaxBody,
+              "op log: implausible frame length");
+  body_.resize(body_len);
+  is_.read(body_.data(), static_cast<std::streamsize>(body_len));
+  PSS_REQUIRE(static_cast<std::uint64_t>(is_.gcount()) == body_len,
+              "op log: truncated frame body");
+  const std::uint64_t stored_crc = io::read_u64(is_);
+  PSS_REQUIRE(stored_crc == crc32(buf(body_, 0), body_len),
+              "op log: frame checksum mismatch");
+
+  const auto kind_byte = static_cast<std::uint8_t>(body_[0]);
+  PSS_REQUIRE(kind_byte <= static_cast<std::uint8_t>(OpKind::kCheckpointMark),
+              "op log: unknown op kind");
+  op = IngestOp{};
+  op.kind = static_cast<OpKind>(kind_byte);
+  op.stream = io::fetch_u64(buf(body_, 1));
+  switch (op.kind) {
+    case OpKind::kArrival:
+      PSS_REQUIRE(body_len == kArrivalSize, "op log: bad arrival payload");
+      op.job.id = static_cast<model::JobId>(
+          static_cast<std::int64_t>(io::fetch_u64(buf(body_, 9))));
+      op.job.release = io::fetch_f64(buf(body_, 17));
+      op.job.deadline = io::fetch_f64(buf(body_, 25));
+      op.job.work = io::fetch_f64(buf(body_, 33));
+      op.job.value = io::fetch_f64(buf(body_, 41));
+      break;
+    case OpKind::kAdvance:
+      PSS_REQUIRE(body_len == kAdvanceSize, "op log: bad advance payload");
+      op.time = io::fetch_f64(buf(body_, 9));
+      break;
+    case OpKind::kOpen:
+    case OpKind::kClose:
+    case OpKind::kCheckpointMark:
+      PSS_REQUIRE(body_len == kBaseSize, "op log: bad control payload");
+      break;
+  }
+  ++frames_;
+  return true;
+}
+
+}  // namespace pss::ingest

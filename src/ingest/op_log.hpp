@@ -1,0 +1,99 @@
+// Versioned binary op-log wire format: the replayable ingest front door.
+//
+// An op log is the serialized form of the engine's ingestion stream — the
+// exact sequence of open/arrival/advance/close ops a producer would issue,
+// in issue order. Because the serving engine is deterministic per stream
+// (bitwise so, across shard and producer counts), a log captured once
+// replays to bitwise-identical decisions and energies: the log IS the
+// workload, storable, diffable, and shippable across machines.
+//
+// Layout (all integers little-endian fixed-width, floats as IEEE-754 bits;
+// the src/io/state_io primitives):
+//
+//   file   := [u64 magic "PSSOPLG1"] frame*
+//   frame  := [u8 0xF5] [u64 body_len] [body: body_len bytes] [u64 crc32]
+//   body   := [u8 kind] [u64 stream] payload(kind)
+//
+//   payload(kArrival)      := [i64 job id] [f64 release] [f64 deadline]
+//                             [f64 work] [f64 value]
+//   payload(kAdvance)      := [f64 time]
+//   payload(kOpen | kClose | kCheckpointMark) := (empty)
+//
+// Every frame carries its own CRC-32 (poly 0xEDB88320, over the body
+// bytes), so truncation, bit rot and splices are caught per frame: the
+// reader throws std::invalid_argument naming the defect, and a replay
+// driver can choose to stop or skip without ever feeding garbage to a
+// session. body_len is guarded against absurd values *before* any
+// allocation. kCheckpointMark records "a checkpoint was cut here" so a
+// replay harness can reproduce checkpoint/restore splits byte-for-byte.
+//
+// Thread contract: a writer or reader belongs to one thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "model/job.hpp"
+
+namespace pss::ingest {
+
+enum class OpKind : std::uint8_t {
+  kOpen = 0,
+  kArrival = 1,
+  kAdvance = 2,
+  kClose = 3,
+  kCheckpointMark = 4,
+};
+
+/// One ingestion op. `stream` is the raw u64 stream id (this header stays
+/// below src/stream in the layering); `time` is the kAdvance target; `job`
+/// is the kArrival payload. Unused fields are ignored per kind.
+struct IngestOp {
+  OpKind kind = OpKind::kArrival;
+  std::uint64_t stream = 0;
+  double time = 0.0;
+  model::Job job{};
+};
+
+/// CRC-32 (reflected, poly 0xEDB88320) of `len` bytes — the frame checksum.
+[[nodiscard]] std::uint32_t crc32(const unsigned char* data, std::size_t len);
+
+class OpLogWriter {
+ public:
+  /// Stamps the file header. The stream must outlive the writer.
+  explicit OpLogWriter(std::ostream& os);
+
+  /// Appends one framed op.
+  void append(const IngestOp& op);
+
+  [[nodiscard]] long long frames_written() const { return frames_; }
+
+ private:
+  std::ostream& os_;
+  std::string body_;  // scratch frame body, reused across appends
+  long long frames_ = 0;
+};
+
+class OpLogReader {
+ public:
+  /// Validates the file header (throws std::invalid_argument on a bad
+  /// magic). The stream must outlive the reader.
+  explicit OpLogReader(std::istream& is);
+
+  /// Reads the next frame into `op`. Returns false on clean end-of-log.
+  /// Throws std::invalid_argument on any malformed frame — bad frame
+  /// magic, oversized or truncated body, CRC mismatch, unknown op kind,
+  /// payload/kind size mismatch.
+  bool next(IngestOp& op);
+
+  [[nodiscard]] long long frames_read() const { return frames_; }
+
+ private:
+  std::istream& is_;
+  std::string body_;  // scratch, reused across frames
+  long long frames_ = 0;
+};
+
+}  // namespace pss::ingest

@@ -1,0 +1,109 @@
+#include "ingest/spill.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace pss::ingest {
+
+// ------------------------------------------------------- MemorySpillStore
+
+void MemorySpillStore::put(std::uint64_t key, std::string blob) {
+  blobs_[key] = std::move(blob);
+}
+
+bool MemorySpillStore::take(std::uint64_t key, std::string& blob) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return false;
+  blob = std::move(it->second);
+  blobs_.erase(it);
+  return true;
+}
+
+bool MemorySpillStore::peek(std::uint64_t key, std::string& blob) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return false;
+  blob = it->second;
+  return true;
+}
+
+bool MemorySpillStore::contains(std::uint64_t key) const {
+  return blobs_.count(key) != 0;
+}
+
+std::size_t MemorySpillStore::size() const { return blobs_.size(); }
+
+std::vector<std::uint64_t> MemorySpillStore::keys() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(blobs_.size());
+  for (const auto& [key, blob] : blobs_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --------------------------------------------------------- FileSpillStore
+
+FileSpillStore::FileSpillStore(std::string directory)
+    : directory_(std::move(directory)) {
+  PSS_REQUIRE(!directory_.empty(), "file spill store needs a directory");
+  std::filesystem::create_directories(directory_);
+  // Adopt whatever a previous process spilled here (restart reuse).
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t key = 0;
+    if (std::sscanf(name.c_str(), "%llu.spill",
+                    reinterpret_cast<unsigned long long*>(&key)) == 1)
+      keys_.push_back(key);
+  }
+  std::sort(keys_.begin(), keys_.end());
+}
+
+std::string FileSpillStore::path_of(std::uint64_t key) const {
+  return directory_ + "/" + std::to_string(key) + ".spill";
+}
+
+void FileSpillStore::put(std::uint64_t key, std::string blob) {
+  std::ofstream out(path_of(key), std::ios::binary | std::ios::trunc);
+  PSS_CHECK(out.good(), "spill file open failed: " + path_of(key));
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  PSS_CHECK(out.good(), "spill file write failed: " + path_of(key));
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) keys_.insert(it, key);
+}
+
+bool FileSpillStore::peek(std::uint64_t key, std::string& blob) const {
+  if (!contains(key)) return false;
+  std::ifstream in(path_of(key), std::ios::binary);
+  PSS_CHECK(in.good(), "spill file read failed: " + path_of(key));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  blob = std::move(bytes);
+  return true;
+}
+
+bool FileSpillStore::take(std::uint64_t key, std::string& blob) {
+  if (!peek(key, blob)) return false;
+  std::filesystem::remove(path_of(key));
+  keys_.erase(std::lower_bound(keys_.begin(), keys_.end(), key));
+  return true;
+}
+
+bool FileSpillStore::contains(std::uint64_t key) const {
+  return std::binary_search(keys_.begin(), keys_.end(), key);
+}
+
+std::size_t FileSpillStore::size() const { return keys_.size(); }
+
+std::vector<std::uint64_t> FileSpillStore::keys() const { return keys_; }
+
+std::unique_ptr<SpillStore> make_spill_store(const SpillOptions& options) {
+  if (options.max_resident == 0) return nullptr;
+  if (!options.directory.empty())
+    return std::make_unique<FileSpillStore>(options.directory);
+  return std::make_unique<MemorySpillStore>();
+}
+
+}  // namespace pss::ingest

@@ -1,0 +1,97 @@
+// Bounded-memory session residency: the spill store.
+//
+// A SessionTable serving millions of mostly-idle streams cannot keep a live
+// PdScheduler per stream — each session owns a partition, curve cache and
+// segment tree. Under an LRU budget (ingest::SpillOptions::max_resident) the
+// table serializes the coldest session through the src/io/state_io
+// checkpoint path into a spill store and recycles its scheduler; the next op
+// touching that stream restores the blob into a recycled scheduler and
+// serves on. Restore is decision-identical by construction (the PR-7
+// checkpoint contract: semantic state round-trips bitwise, derived caches
+// rebuild cold), so spilling changes resident memory and cache *counters*,
+// never a decision or an energy.
+//
+// The store itself is a dumb keyed blob map. Two implementations:
+//   MemorySpillStore — std::unordered_map<key, blob>; bounds the *expensive*
+//     state (schedulers) while keeping the cheap bytes in RAM.
+//   FileSpillStore  — one file per key under a directory; bounds RAM by the
+//     resident set alone.
+//
+// Keys are raw u64 stream ids (this header stays below src/stream in the
+// layering). Thread contract: a store belongs to one shard worker; no
+// internal locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pss::ingest {
+
+struct SpillOptions {
+  /// Max resident sessions per SessionTable; 0 disables spilling entirely.
+  std::size_t max_resident = 0;
+  /// Spill blobs to one-file-per-session under this directory instead of
+  /// the in-memory map. The engine appends a per-shard subdirectory so
+  /// shards never share files.
+  std::string directory;
+};
+
+class SpillStore {
+ public:
+  virtual ~SpillStore() = default;
+
+  /// Stores (or replaces) the blob for `key`.
+  virtual void put(std::uint64_t key, std::string blob) = 0;
+  /// Removes and returns `key`'s blob; false if absent.
+  virtual bool take(std::uint64_t key, std::string& blob) = 0;
+  /// Reads `key`'s blob without removing it; false if absent.
+  virtual bool peek(std::uint64_t key, std::string& blob) const = 0;
+  [[nodiscard]] virtual bool contains(std::uint64_t key) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// All keys, ascending — the deterministic order checkpoint() needs.
+  [[nodiscard]] virtual std::vector<std::uint64_t> keys() const = 0;
+};
+
+class MemorySpillStore final : public SpillStore {
+ public:
+  void put(std::uint64_t key, std::string blob) override;
+  bool take(std::uint64_t key, std::string& blob) override;
+  bool peek(std::uint64_t key, std::string& blob) const override;
+  [[nodiscard]] bool contains(std::uint64_t key) const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::vector<std::uint64_t> keys() const override;
+
+ private:
+  std::unordered_map<std::uint64_t, std::string> blobs_;
+};
+
+class FileSpillStore final : public SpillStore {
+ public:
+  /// Creates `directory` (and parents) if needed; existing spill files in
+  /// it are adopted (a restart can reuse a spill directory).
+  explicit FileSpillStore(std::string directory);
+
+  void put(std::uint64_t key, std::string blob) override;
+  bool take(std::uint64_t key, std::string& blob) override;
+  bool peek(std::uint64_t key, std::string& blob) const override;
+  [[nodiscard]] bool contains(std::uint64_t key) const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::vector<std::uint64_t> keys() const override;
+
+ private:
+  [[nodiscard]] std::string path_of(std::uint64_t key) const;
+
+  std::string directory_;
+  std::vector<std::uint64_t> keys_;  // sorted
+};
+
+/// Builds the store SpillOptions describe (memory unless a directory is
+/// set), or nullptr when spilling is disabled (max_resident == 0).
+[[nodiscard]] std::unique_ptr<SpillStore> make_spill_store(
+    const SpillOptions& options);
+
+}  // namespace pss::ingest

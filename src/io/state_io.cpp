@@ -54,6 +54,24 @@ double read_f64(std::istream& is) {
   return std::bit_cast<double>(read_u64(is));
 }
 
+void store_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t fetch_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+void store_f64(unsigned char* p, double v) {
+  store_u64(p, std::bit_cast<std::uint64_t>(v));
+}
+
+double fetch_f64(const unsigned char* p) {
+  return std::bit_cast<double>(fetch_u64(p));
+}
+
 namespace {
 
 void write_bool(std::ostream& os, bool v) { write_u8(os, v ? 1 : 0); }

@@ -43,6 +43,15 @@ void write_f64(std::ostream& os, double v);
 [[nodiscard]] std::int64_t read_i64(std::istream& is);
 [[nodiscard]] double read_f64(std::istream& is);
 
+// -- buffer variants (for framed formats that checksum their own bytes) ----
+// Same little-endian encoding as the stream primitives, but against a raw
+// byte buffer, so a codec can assemble a frame body, checksum it, and only
+// then commit it to the stream (src/ingest/op_log).
+void store_u64(unsigned char* p, std::uint64_t v);
+[[nodiscard]] std::uint64_t fetch_u64(const unsigned char* p);
+void store_f64(unsigned char* p, double v);
+[[nodiscard]] double fetch_f64(const unsigned char* p);
+
 /// Full PdCounters image, fixed field order.
 void save_counters(std::ostream& os, const core::PdCounters& c);
 void load_counters(std::istream& is, core::PdCounters& c);

@@ -1,5 +1,7 @@
 #include "sim/stream_sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -38,23 +40,44 @@ StreamSweepResult sweep_streams(const StreamWorkloadConfig& config,
     jobs.push_back(make_stream_jobs(config, s, options.machine.alpha));
 
   stream::StreamEngine engine(options);
-  long long fed = 0;
+  const int num_producers = int(std::max<std::size_t>(options.max_producers, 1));
+  std::atomic<long long> fed{0};
+
+  // One producer's share of the sweep: its streams (s mod P == slot),
+  // interleaved by release tick — every stream shares the same tick clock,
+  // so each producer feeds all of its tick t before any of its tick t+1,
+  // the multiplexed shape real concurrent streams produce. Closes are
+  // control ops, not sheddable traffic: under kReject a shed close would
+  // silently drop the whole stream's result, so retry until the ring takes
+  // it (the worker is draining, so this is bounded).
+  const auto produce = [&](auto&& feed, auto&& close, int slot) {
+    long long mine = 0;
+    for (int i = 0; i < config.jobs_per_stream; ++i)
+      for (int s = slot; s < num_streams; s += num_producers)
+        if (feed(stream::StreamId(s), jobs[std::size_t(s)][std::size_t(i)]))
+          ++mine;
+    for (int s = slot; s < num_streams; s += num_producers)
+      while (!close(stream::StreamId(s))) std::this_thread::yield();
+    fed.fetch_add(mine, std::memory_order_relaxed);
+  };
+
   const auto start = clock::now();
-  // Interleave across streams arrival-by-arrival: every stream shares the
-  // same tick clock, so this feeds all of tick t before any of tick t+1 —
-  // the multiplexed shape real concurrent streams produce.
-  for (int i = 0; i < config.jobs_per_stream; ++i) {
-    for (int s = 0; s < num_streams; ++s) {
-      if (engine.feed(stream::StreamId(s), jobs[std::size_t(s)][std::size_t(i)]))
-        ++fed;
-    }
+  std::vector<std::thread> producers;
+  producers.reserve(std::size_t(num_producers - 1));
+  for (int p = 1; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      stream::StreamEngine::Producer handle = engine.producer();
+      produce([&](stream::StreamId id,
+                  const model::Job& job) { return handle.feed(id, job); },
+              [&](stream::StreamId id) { return handle.close_stream(id); },
+              p);
+    });
   }
-  // Closes are control ops, not sheddable traffic: under kReject a shed
-  // close would silently drop the whole stream's result, so retry until
-  // the ring takes it (the worker is draining, so this is bounded).
-  for (int s = 0; s < num_streams; ++s)
-    while (!engine.close_stream(stream::StreamId(s)))
-      std::this_thread::yield();
+  produce([&](stream::StreamId id,
+              const model::Job& job) { return engine.feed(id, job); },
+          [&](stream::StreamId id) { return engine.close_stream(id); },
+          /*slot=*/0);
+  for (std::thread& t : producers) t.join();
   engine.drain();
   const double seconds =
       std::chrono::duration<double>(clock::now() - start).count();
@@ -63,7 +86,8 @@ StreamSweepResult sweep_streams(const StreamWorkloadConfig& config,
   result.streams = engine.finish();
   result.snapshot = engine.snapshot();
   result.seconds = seconds;
-  result.arrivals_per_sec = seconds > 0.0 ? double(fed) / seconds : 0.0;
+  const auto total_fed = double(fed.load(std::memory_order_relaxed));
+  result.arrivals_per_sec = seconds > 0.0 ? total_fed / seconds : 0.0;
   return result;
 }
 

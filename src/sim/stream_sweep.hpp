@@ -9,6 +9,14 @@
 // engine pins each stream to one worker, so per-stream results are bitwise
 // identical for any shard count — the serving-layer analogue of
 // sweep_seeds' thread-count invariance (pinned by tests/test_stream.cpp).
+//
+// With options.max_producers = P > 1 the sweep becomes the MPSC driver:
+// stream s is owned by producer slot s mod P (slot 0 = the calling thread,
+// the rest claimed via engine.producer() on P-1 feeder threads), each
+// producer feeding its own streams interleaved by tick. One stream, one
+// producer — so per-stream FIFO holds and per-stream results stay bitwise
+// identical across producer counts too (pinned by tests/test_ingest.cpp).
+// This one driver feeds both bench_shard_scale and bench_ingest.
 #pragma once
 
 #include <cstdint>
@@ -46,8 +54,9 @@ struct StreamSweepResult {
   double arrivals_per_sec = 0.0;
 };
 
-/// Runs the configured streams through an engine built from `options`.
-/// Stream ids are 0..num_streams-1.
+/// Runs the configured streams through an engine built from `options`,
+/// using all options.max_producers producer slots. Stream ids are
+/// 0..num_streams-1; stream s is fed by producer slot s mod max_producers.
 [[nodiscard]] StreamSweepResult sweep_streams(
     const StreamWorkloadConfig& config, const stream::EngineOptions& options);
 

@@ -10,26 +10,117 @@
 
 namespace pss::stream {
 
+namespace {
+// Balances the in_flight_ registration on every exit path out of enqueue()
+// (including the PSS_REQUIRE throw on a blocking push into a paused engine).
+struct InFlightGuard {
+  std::atomic<long long>& counter;
+  ~InFlightGuard() { counter.fetch_sub(1, std::memory_order_seq_cst); }
+};
+}  // namespace
+
 StreamEngine::StreamEngine(EngineOptions options)
     : options_(options),
       router_(options.num_shards),
+      admission_(options.admission),
       paused_(options.start_paused) {
   PSS_REQUIRE(options_.num_shards >= 1, "need at least one shard");
+  PSS_REQUIRE(options_.max_producers >= 1, "need at least one producer slot");
   PSS_REQUIRE(options_.drain_batch >= 1, "drain_batch must be positive");
+  slot_used_.assign(options_.max_producers, false);
+  slot_used_[0] = true;  // the owner thread
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i)
-    shards_.push_back(std::make_unique<Shard>(options_));
+    shards_.push_back(std::make_unique<Shard>(options_, i));
   for (auto& shard : shards_)
     shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
 }
 
 StreamEngine::~StreamEngine() { stop(); }
 
+// ------------------------------------------------------------- producers
+
+StreamEngine::Producer& StreamEngine::Producer::operator=(
+    Producer&& other) noexcept {
+  if (this != &other) {
+    release();
+    engine_ = other.engine_;
+    slot_ = other.slot_;
+    other.engine_ = nullptr;
+    other.slot_ = 0;
+  }
+  return *this;
+}
+
+void StreamEngine::Producer::release() {
+  if (engine_ != nullptr) {
+    engine_->release_producer(slot_);
+    engine_ = nullptr;
+    slot_ = 0;
+  }
+}
+
+bool StreamEngine::Producer::open(StreamId id) {
+  PSS_REQUIRE(engine_ != nullptr, "empty producer handle");
+  return engine_->enqueue(slot_, engine_->router_.shard_of(id),
+                          ShardOp{ShardOp::Kind::kOpen, id, 0.0, {}});
+}
+
+bool StreamEngine::Producer::feed(StreamId id, const model::Job& job) {
+  PSS_REQUIRE(engine_ != nullptr, "empty producer handle");
+  return engine_->enqueue(slot_, engine_->router_.shard_of(id),
+                          ShardOp{ShardOp::Kind::kArrival, id, 0.0, job});
+}
+
+bool StreamEngine::Producer::advance(StreamId id, double t) {
+  PSS_REQUIRE(engine_ != nullptr, "empty producer handle");
+  return engine_->enqueue(slot_, engine_->router_.shard_of(id),
+                          ShardOp{ShardOp::Kind::kAdvance, id, t, {}});
+}
+
+bool StreamEngine::Producer::close_stream(StreamId id) {
+  PSS_REQUIRE(engine_ != nullptr, "empty producer handle");
+  return engine_->enqueue(slot_, engine_->router_.shard_of(id),
+                          ShardOp{ShardOp::Kind::kClose, id, 0.0, {}});
+}
+
+StreamEngine::Producer StreamEngine::producer() {
+  std::lock_guard lock(producer_mutex_);
+  PSS_REQUIRE(accepting_.load(std::memory_order_seq_cst),
+              "engine already finished");
+  for (std::size_t slot = 1; slot < options_.max_producers; ++slot) {
+    if (!slot_used_[slot]) {
+      slot_used_[slot] = true;
+      ++active_producers_;
+      return Producer(this, slot);
+    }
+  }
+  PSS_REQUIRE(false, "all producer slots in use (raise max_producers)");
+  return {};  // unreachable
+}
+
+void StreamEngine::release_producer(std::size_t slot) {
+  std::lock_guard lock(producer_mutex_);
+  PSS_CHECK(slot > 0 && slot < slot_used_.size() && slot_used_[slot],
+            "releasing an unclaimed producer slot");
+  slot_used_[slot] = false;
+  --active_producers_;
+}
+
+std::size_t StreamEngine::active_producers() const {
+  std::lock_guard lock(producer_mutex_);
+  return active_producers_;
+}
+
+// ------------------------------------------------------------- ingestion
+
 void StreamEngine::wake(Shard& shard) {
   // Dekker-style handshake with the worker's sleep path: the ring push
   // (seq_cst fence below) and the worker's sleeping-flag store are ordered
   // so that either we observe sleeping == true and notify, or the worker's
-  // post-flag emptiness recheck observes our push — never neither.
+  // post-flag emptiness recheck observes our push — never neither. The
+  // argument is per-ring, so it survives multiple producers: each pushes to
+  // its own ring before fencing, and the worker rechecks every ring.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (shard.sleeping.load(std::memory_order_relaxed)) {
     std::lock_guard lock(shard.wake_mutex);
@@ -37,10 +128,27 @@ void StreamEngine::wake(Shard& shard) {
   }
 }
 
-bool StreamEngine::enqueue(std::size_t shard_index, ShardOp op) {
-  PSS_REQUIRE(!finished_, "engine already finished");
+bool StreamEngine::enqueue(std::size_t slot, std::size_t shard_index,
+                           ShardOp op) {
   Shard& shard = *shards_[shard_index];
-  if (!shard.queue.try_push(op)) {
+  // Shutdown gate: register as in flight *before* reading accepting_, the
+  // mirror order of stop()'s write-then-wait — so either stop() sees this
+  // op in flight and waits for the push, or this op sees the closed gate
+  // and becomes a counted late reject. Never a push into a dying ring.
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  InFlightGuard guard{in_flight_};
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    shard.late_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  SpscQueue<ShardOp>& queue = *shard.queues[slot];
+  // Admission: shed-before-enqueue, arrivals only (a shed open/advance/
+  // close would corrupt the stream's lifecycle rather than its load).
+  if (op.kind == ShardOp::Kind::kArrival && !admission_.admit(queue.size())) {
+    shard.admission_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!queue.try_push(op)) {
     if (options_.backpressure == Backpressure::kReject) {
       shard.queue_rejects.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -51,7 +159,7 @@ bool StreamEngine::enqueue(std::size_t shard_index, ShardOp op) {
     // Timed retry instead of a wake-perfect protocol: this is the
     // backpressure slow path, and a bounded poll makes a missed producer
     // wake impossible by construction.
-    while (!shard.queue.try_push(op)) {
+    while (!queue.try_push(op)) {
       std::unique_lock lock(shard.stats_mutex);
       shard.drained_cv.wait_for(lock, std::chrono::microseconds(100));
     }
@@ -62,22 +170,22 @@ bool StreamEngine::enqueue(std::size_t shard_index, ShardOp op) {
 }
 
 bool StreamEngine::open(StreamId id) {
-  return enqueue(router_.shard_of(id),
+  return enqueue(0, router_.shard_of(id),
                  ShardOp{ShardOp::Kind::kOpen, id, 0.0, {}});
 }
 
 bool StreamEngine::feed(StreamId id, const model::Job& job) {
-  return enqueue(router_.shard_of(id),
+  return enqueue(0, router_.shard_of(id),
                  ShardOp{ShardOp::Kind::kArrival, id, 0.0, job});
 }
 
 bool StreamEngine::advance(StreamId id, double t) {
-  return enqueue(router_.shard_of(id),
+  return enqueue(0, router_.shard_of(id),
                  ShardOp{ShardOp::Kind::kAdvance, id, t, {}});
 }
 
 bool StreamEngine::close_stream(StreamId id) {
-  return enqueue(router_.shard_of(id),
+  return enqueue(0, router_.shard_of(id),
                  ShardOp{ShardOp::Kind::kClose, id, 0.0, {}});
 }
 
@@ -101,7 +209,13 @@ void StreamEngine::drain() {
 }
 
 void StreamEngine::stop() {
-  if (finished_) return;
+  if (finished_.load(std::memory_order_acquire)) return;
+  // Quiesce producers first: close the gate, then wait out every enqueue
+  // already past it. Workers keep draining, so a producer blocked on a full
+  // ring makes progress and the wait terminates.
+  accepting_.store(false, std::memory_order_seq_cst);
+  while (in_flight_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->wake_mutex);
@@ -109,21 +223,28 @@ void StreamEngine::stop() {
   }
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
-  finished_ = true;
+  finished_.store(true, std::memory_order_release);
 }
 
+// ------------------------------------------------------ checkpoint/restore
+
 namespace {
-// "PSSCKPT1" as a little-endian u64 — version byte last.
-constexpr std::uint64_t kCheckpointMagic = 0x3154504B43535350ull;
+// "PSSCKPT2" as a little-endian u64 — version byte last. (v2 added the
+// admission/late-reject tallies to the per-shard stats block.)
+constexpr std::uint64_t kCheckpointMagic = 0x3254504B43535350ull;
 }  // namespace
 
 void StreamEngine::checkpoint(std::ostream& os) {
-  PSS_REQUIRE(!finished_, "engine already finished");
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
+  PSS_REQUIRE(active_producers() == 0,
+              "release every extra producer before checkpoint");
   // After drain() every worker has applied all ops it will ever see until
-  // the next enqueue, and a worker facing an empty ring never touches its
+  // the next enqueue, and a worker facing empty rings never touches its
   // session table — so the tables are quiescent for the reads below. The
   // stats-mutex handshake inside drain() ordered the workers' session
-  // writes before them.
+  // writes before them. (No extra producers exist — just checked — so the
+  // owner thread is the only possible enqueuer, and it is here.)
   drain();
   io::write_u64(os, kCheckpointMagic);
   io::write_u64(os, options_.num_shards);
@@ -143,8 +264,11 @@ void StreamEngine::checkpoint(std::ostream& os) {
       p = shard->published;
     }
     io::write_i64(os, shard->enqueued.load(std::memory_order_relaxed));
+    io::write_i64(os,
+                  shard->admission_rejects.load(std::memory_order_relaxed));
     io::write_i64(os, shard->queue_rejects.load(std::memory_order_relaxed));
     io::write_i64(os, shard->full_waits.load(std::memory_order_relaxed));
+    io::write_i64(os, shard->late_rejects.load(std::memory_order_relaxed));
     io::write_i64(os, p.processed);
     io::write_i64(os, p.batches);
     io::write_i64(os, p.op_errors);
@@ -160,7 +284,8 @@ void StreamEngine::checkpoint(std::ostream& os) {
 }
 
 void StreamEngine::restore(std::istream& is) {
-  PSS_REQUIRE(!finished_, "engine already finished");
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
   for (auto& shard : shards_) {
     PSS_REQUIRE(shard->enqueued.load(std::memory_order_relaxed) == 0,
                 "restore target engine must be fresh");
@@ -185,8 +310,11 @@ void StreamEngine::restore(std::istream& is) {
               "checkpoint mode flags mismatch");
   for (auto& shard : shards_) {
     const long long enqueued = io::read_i64(is);
+    shard->admission_rejects.store(io::read_i64(is),
+                                   std::memory_order_relaxed);
     shard->queue_rejects.store(io::read_i64(is), std::memory_order_relaxed);
     shard->full_waits.store(io::read_i64(is), std::memory_order_relaxed);
+    shard->late_rejects.store(io::read_i64(is), std::memory_order_relaxed);
     ShardSnapshot p;
     p.processed = io::read_i64(is);
     p.batches = io::read_i64(is);
@@ -198,12 +326,18 @@ void StreamEngine::restore(std::istream& is) {
     p.closed_streams = io::read_i64(is);
     p.closed_energy = io::read_f64(is);
     io::load_counters(is, p.counters);
-    // The worker only touches its session table when the ring hands it an
+    // The worker only touches its session table when a ring hands it an
     // op; this engine has accepted no traffic, so the table is ours to
     // fill. The ring's release/acquire pair on the next enqueue publishes
-    // these writes to the worker.
+    // these writes to the worker. (The restoring table re-applies its own
+    // residency budget, so a spill-less checkpoint restores into a
+    // budgeted engine and vice versa.)
     shard->sessions.restore(is);
     p.open_streams = shard->sessions.num_open();
+    p.resident_sessions = shard->sessions.num_resident();
+    p.spilled_sessions = shard->sessions.num_spilled();
+    p.session_spills = shard->sessions.num_spills();
+    p.session_restores = shard->sessions.num_spill_restores();
     {
       std::lock_guard lock(shard->stats_mutex);
       shard->published = p;
@@ -215,9 +349,12 @@ void StreamEngine::restore(std::istream& is) {
 }
 
 std::vector<StreamResult> StreamEngine::finish() {
-  if (!finished_) {
+  if (!finished_.load(std::memory_order_acquire)) {
     if (paused_.load(std::memory_order_relaxed)) resume();
-    drain();
+    // stop() closes the accepting gate and waits out in-flight enqueues
+    // before setting stopping_, and the workers drain their rings to empty
+    // before exiting — so every accepted op is applied, and every op that
+    // raced the shutdown is a counted late reject.
     stop();
   }
   std::vector<StreamResult> results;
@@ -242,18 +379,30 @@ EngineSnapshot StreamEngine::snapshot() const {
       std::lock_guard lock(shard->stats_mutex);
       s = shard->published;
     }
-    s.queue_depth = shard->queue.size();
+    s.queue_depth = shard->queue_depth();
     s.enqueued = shard->enqueued.load(std::memory_order_relaxed);
+    s.admission_rejects =
+        shard->admission_rejects.load(std::memory_order_relaxed);
     s.queue_rejects = shard->queue_rejects.load(std::memory_order_relaxed);
     s.full_waits = shard->full_waits.load(std::memory_order_relaxed);
+    s.late_rejects = shard->late_rejects.load(std::memory_order_relaxed);
+    // A late reject IS a contained op error — misuse of the shutdown
+    // contract, surfaced in the same ledger clients already watch.
+    s.op_errors += s.late_rejects;
     snap.arrivals += s.arrivals;
     snap.accepted += s.accepted;
     snap.rejected += s.rejected;
+    snap.admission_rejects += s.admission_rejects;
     snap.queue_rejects += s.queue_rejects;
     snap.full_waits += s.full_waits;
+    snap.late_rejects += s.late_rejects;
     snap.op_errors += s.op_errors;
     snap.queue_depth += s.queue_depth;
     snap.open_streams += s.open_streams;
+    snap.resident_sessions += s.resident_sessions;
+    snap.spilled_sessions += s.spilled_sessions;
+    snap.session_spills += s.session_spills;
+    snap.session_restores += s.session_restores;
     snap.closed_streams += s.closed_streams;
     snap.decision_energy += s.decision_energy;
     snap.closed_energy += s.closed_energy;
@@ -266,6 +415,10 @@ EngineSnapshot StreamEngine::snapshot() const {
 void StreamEngine::worker_loop(Shard& shard) {
   std::vector<ShardOp> batch;
   batch.reserve(options_.drain_batch);
+  const std::size_t num_queues = shard.queues.size();
+  // Combining drain: sweep all producer rings into one batch, starting at a
+  // rotating ring so no producer slot is structurally favored.
+  std::size_t next_queue = 0;
   for (;;) {
     if (paused_.load(std::memory_order_acquire) &&
         !stopping_.load(std::memory_order_acquire)) {
@@ -277,19 +430,26 @@ void StreamEngine::worker_loop(Shard& shard) {
     }
 
     batch.clear();
-    shard.queue.pop_batch(batch, options_.drain_batch);
+    for (std::size_t k = 0;
+         k < num_queues && batch.size() < options_.drain_batch; ++k) {
+      shard.queues[(next_queue + k) % num_queues]->pop_batch(
+          batch, options_.drain_batch - batch.size());
+    }
+    next_queue = (next_queue + 1) % num_queues;
     if (batch.empty()) {
-      // On stop, exit only once the ring is fully drained: every op
-      // accepted before stop() is applied (correct shutdown).
+      // On stop, exit only once every ring is fully drained: every op
+      // accepted before stop() is applied (correct shutdown). An empty
+      // batch means the sweep above found all rings empty.
       if (stopping_.load(std::memory_order_acquire)) return;
       // Sleep handshake, consumer half (see wake()): flag, fence, recheck.
       shard.sleeping.store(true, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (shard.queue.empty() && !stopping_.load(std::memory_order_relaxed) &&
+      if (shard.queues_empty() &&
+          !stopping_.load(std::memory_order_relaxed) &&
           !paused_.load(std::memory_order_relaxed)) {
         std::unique_lock lock(shard.wake_mutex);
         shard.wake_cv.wait(lock, [&] {
-          return !shard.queue.empty() ||
+          return !shard.queues_empty() ||
                  stopping_.load(std::memory_order_relaxed) ||
                  paused_.load(std::memory_order_relaxed);
         });
@@ -360,6 +520,10 @@ void StreamEngine::worker_loop(Shard& shard) {
       p.closed_energy += closed_energy;
       p.counters += closed_counters;
       p.open_streams = shard.sessions.num_open();
+      p.resident_sessions = shard.sessions.num_resident();
+      p.spilled_sessions = shard.sessions.num_spilled();
+      p.session_spills = shard.sessions.num_spills();
+      p.session_restores = shard.sessions.num_spill_restores();
     }
     shard.drained_cv.notify_all();  // drain() waiters and blocked producers
   }

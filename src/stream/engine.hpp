@@ -5,27 +5,45 @@
 // millions of concurrent job streams by hashing each stream to one of N
 // worker shards and running a pool of PdScheduler sessions per shard.
 //
-//   control thread ──route──> [SPSC ring] ──batch──> shard worker
-//                             (bounded)              SessionTable
-//                                                    (PdScheduler pool)
+//   producer 0 (owner) ──route──> [ring 0] ─┐
+//   producer 1         ──route──> [ring 1] ─┼─batch──> shard worker
+//   producer P-1       ──route──> [ring P-1]┘          SessionTable
+//                                 (bounded SPSC each)  (PdScheduler pool)
 //
-// Ingestion is batched: a worker drains up to `drain_batch` queued ops per
-// wake and pays the stats lock and the producer handshake once per batch,
-// not once per arrival. Backpressure on a full ring is either blocking
-// (default: the control thread waits for the worker, nothing is lost) or
-// load-shedding (`Backpressure::kReject`: the op is dropped and counted —
-// distinct from PD's *economic* rejection of an accepted-for-processing
-// arrival).
+// Ingestion is MPSC by composition: each shard owns one bounded SPSC ring
+// *per producer slot*, and the shard worker drains them with a combining,
+// rotating round-robin sweep. Slot 0 belongs to the engine's owning thread
+// (the classic open/feed/advance API is the 1-producer special case); extra
+// slots are claimed with producer() and fed through the returned handle from
+// any thread, one thread per handle. Per-stream FIFO order is preserved
+// because each ring is FIFO — callers keep each stream on one producer
+// (feed a stream from two slots and its op order is whatever the drain
+// interleaves). With that discipline, per-stream decisions are bitwise
+// identical for any shard count AND any producer count: a stream's ops
+// still reach one worker, in feed order, into a scheduler that sees only
+// that stream.
 //
-// Determinism: a stream's arrivals are handled by exactly one worker, in
-// feed order, by a scheduler that sees only that stream. Per-stream
-// decisions, counters, and energies are therefore bitwise identical for any
-// shard count (tests/test_stream.cpp pins 1/4/16).
+// Ahead of the rings sits the admission gate (src/ingest/admission.hpp):
+// arrivals it sheds are counted per shard in `admission_rejects` and never
+// enqueued — distinct from `queue_rejects`, the post-gate sheds of
+// Backpressure::kReject on a full ring.
 //
-// Threading contract: open/feed/advance/close_stream/drain/finish are
-// producer-side and must be called from one thread at a time (the rings are
-// SPSC). snapshot() may be called concurrently from any thread — it reads
-// per-shard published stats under per-shard locks, never pausing workers.
+// Under an EngineOptions::spill budget each shard's SessionTable keeps at
+// most max_resident sessions live and spills the coldest to a blob store
+// through the checkpoint path (decision-identical; see session_table.hpp).
+//
+// Shutdown contract: finish() (and the destructor) first flips an atomic
+// accepting gate and waits out in-flight enqueues, so a producer that races
+// the shutdown gets its op refused-and-counted (`late_rejects`, surfaced in
+// snapshot op_errors) instead of racing a dying ring. Producer handles must
+// be released before checkpoint() (the drain only quiesces what the owner
+// thread can see) — enforced with std::invalid_argument, not UB.
+//
+// Threading contract: engine-level open/feed/advance/close_stream/drain/
+// checkpoint/restore/finish are owner-thread calls (slot 0); each Producer
+// handle serves exactly one additional thread. snapshot() may be called
+// concurrently from any thread — it reads per-shard published stats under
+// per-shard locks, never pausing workers.
 #pragma once
 
 #include <atomic>
@@ -35,10 +53,13 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pd_scheduler.hpp"
+#include "ingest/admission.hpp"
+#include "ingest/spill.hpp"
 #include "model/instance.hpp"
 #include "model/job.hpp"
 #include "stream/router.hpp"
@@ -49,13 +70,16 @@ namespace pss::stream {
 
 /// What to do when a shard's ingestion ring is full.
 enum class Backpressure {
-  kBlock,   // control thread waits for the worker to free space
+  kBlock,   // producer thread waits for the worker to free space
   kReject,  // drop the op, count it in queue_rejects
 };
 
 struct EngineOptions {
   std::size_t num_shards = 1;
-  /// Per-shard ring capacity (rounded up to a power of two).
+  /// Producer slots, i.e. SPSC rings per shard. Slot 0 is the engine's
+  /// owning thread; slots 1..max_producers-1 are claimed via producer().
+  std::size_t max_producers = 1;
+  /// Per-ring capacity (rounded up to a power of two).
   std::size_t queue_capacity = 1024;
   /// Max ops a worker drains per wake; the batching grain.
   std::size_t drain_batch = 128;
@@ -66,6 +90,11 @@ struct EngineOptions {
   /// Construct with workers parked until resume() — lets tests fill a ring
   /// deterministically before anything drains.
   bool start_paused = false;
+  /// Shed-before-enqueue admission policy for arrivals (default: none).
+  ingest::AdmissionOptions admission{};
+  /// Per-shard session residency budget; max_resident == 0 disables
+  /// spilling. A non-empty directory gets a per-shard subdirectory.
+  ingest::SpillOptions spill{};
   /// Machine every session runs on.
   model::Machine machine{1, 2.0};
   /// PD configuration for every session.
@@ -75,18 +104,25 @@ struct EngineOptions {
 /// Per-shard slice of a snapshot. "Live" fields cover all traffic so far;
 /// `counters` / `closed_energy` aggregate the sessions already closed.
 struct ShardSnapshot {
-  std::size_t queue_depth = 0;   // ops sitting in the ring right now
-  long long enqueued = 0;        // ops accepted into the ring
+  std::size_t queue_depth = 0;   // ops sitting in this shard's rings now
+  long long enqueued = 0;        // ops accepted into the rings
   long long processed = 0;       // ops applied by the worker
   long long batches = 0;         // worker wakes that drained work
+  long long admission_rejects = 0;  // arrivals shed at the gate, pre-ring
   long long queue_rejects = 0;   // ops shed on a full ring (kReject)
   long long full_waits = 0;      // producer stalls on a full ring (kBlock)
+  long long late_rejects = 0;    // ops refused after finish() began
   long long op_errors = 0;       // ops rejected by a session precondition
+                                 // (late_rejects fold in at snapshot time)
   long long arrivals = 0;        // live, all sessions
   long long accepted = 0;
   long long rejected = 0;
   double decision_energy = 0.0;  // live sum of accepted planned energies
-  std::size_t open_streams = 0;
+  std::size_t open_streams = 0;  // resident + spilled
+  std::size_t resident_sessions = 0;
+  std::size_t spilled_sessions = 0;
+  long long session_spills = 0;    // evictions to the spill store, ever
+  long long session_restores = 0;  // spill-store restores, ever
   long long closed_streams = 0;
   double closed_energy = 0.0;           // exact, closed sessions
   core::PdCounters counters;            // aggregated over closed sessions
@@ -98,11 +134,17 @@ struct EngineSnapshot {
   long long arrivals = 0;
   long long accepted = 0;
   long long rejected = 0;
+  long long admission_rejects = 0;
   long long queue_rejects = 0;
   long long full_waits = 0;
+  long long late_rejects = 0;
   long long op_errors = 0;
   std::size_t queue_depth = 0;
   std::size_t open_streams = 0;
+  std::size_t resident_sessions = 0;
+  std::size_t spilled_sessions = 0;
+  long long session_spills = 0;
+  long long session_restores = 0;
   long long closed_streams = 0;
   double decision_energy = 0.0;
   double closed_energy = 0.0;
@@ -112,6 +154,37 @@ struct EngineSnapshot {
 
 class StreamEngine {
  public:
+  /// A claimed producer slot: the MPSC write handle. Move-only; usable from
+  /// exactly one thread at a time; must not outlive the engine. Destroying
+  /// (or release()-ing) the handle frees the slot for the next claimant.
+  class Producer {
+   public:
+    Producer() = default;
+    Producer(Producer&& other) noexcept { *this = std::move(other); }
+    Producer& operator=(Producer&& other) noexcept;
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+    ~Producer() { release(); }
+
+    bool open(StreamId id);
+    bool feed(StreamId id, const model::Job& job);
+    bool advance(StreamId id, double t);
+    bool close_stream(StreamId id);
+
+    [[nodiscard]] bool valid() const { return engine_ != nullptr; }
+    [[nodiscard]] std::size_t slot() const { return slot_; }
+    /// Unregisters the slot (idempotent). After this the handle is empty.
+    void release();
+
+   private:
+    friend class StreamEngine;
+    Producer(StreamEngine* engine, std::size_t slot)
+        : engine_(engine), slot_(slot) {}
+
+    StreamEngine* engine_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
   explicit StreamEngine(EngineOptions options);
   ~StreamEngine();
 
@@ -121,10 +194,20 @@ class StreamEngine {
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] const StreamRouter& router() const { return router_; }
 
+  /// Claims a free producer slot (throws std::invalid_argument when all
+  /// max_producers - 1 extra slots are taken or the engine finished).
+  [[nodiscard]] Producer producer();
+  /// Extra producer handles currently registered (slot 0 not counted).
+  [[nodiscard]] std::size_t active_producers() const;
+
+  /// The admission gate (live: refill() feeds manual token buckets).
+  [[nodiscard]] ingest::AdmissionGate& admission() { return admission_; }
+
   /// Opens a session before traffic arrives (feed auto-opens otherwise).
   bool open(StreamId id);
-  /// Routes one arrival to its stream's shard. Returns false iff the op was
-  /// shed under Backpressure::kReject.
+  /// Routes one arrival to its stream's shard. Returns false iff the op
+  /// was shed — by the admission gate, by Backpressure::kReject on a full
+  /// ring, or because the engine is finishing.
   bool feed(StreamId id, const model::Job& job);
   /// Advances the stream's horizon to time t.
   bool advance(StreamId id, double t);
@@ -139,25 +222,27 @@ class StreamEngine {
   void drain();
 
   /// Drains every in-flight op, then serializes the engine's full state —
-  /// open sessions, pending results, published tallies — as one binary
-  /// image (src/io/state_io.hpp wire format). The engine keeps serving
-  /// afterwards. Producer-side call (same thread as feed/advance): the
-  /// drain is what makes the worker-owned session tables quiescent, so no
-  /// op may be enqueued concurrently.
+  /// open sessions (spilled blobs included, byte-identical to a spill-free
+  /// run), pending results, published tallies — as one binary image
+  /// (src/io/state_io.hpp wire format). The engine keeps serving
+  /// afterwards. Owner-thread call; every extra Producer must be released
+  /// first (checked) — the drain can only quiesce rings no one is filling.
   void checkpoint(std::ostream& os);
 
   /// Restores a checkpoint() image into this engine, which must be freshly
   /// constructed (no traffic yet) with the same shard count, machine and
   /// scheduler options (checked; throws std::invalid_argument otherwise).
-  /// A restored engine's subsequent decisions and energies are bitwise
-  /// identical to the uninterrupted run's; certification counters may
-  /// differ (caches restart cold). Producer-side call.
+  /// Producer count, admission policy and spill budget are serving-side
+  /// knobs, not state — they may differ. A restored engine's subsequent
+  /// decisions and energies are bitwise identical to the uninterrupted
+  /// run's; certification counters may differ (caches restart cold).
   void restore(std::istream& is);
 
-  /// Drains, stops the workers, and returns every finalized StreamResult
-  /// sorted by stream id. The engine accepts no traffic afterwards;
-  /// snapshot() keeps working on the final state. Streams never closed
-  /// remain unreported (their live traffic stays in the snapshot tallies).
+  /// Stops accepting ops (late enqueues from laggard producers are refused
+  /// and counted, not raced), drains, stops the workers, and returns every
+  /// finalized StreamResult sorted by stream id. snapshot() keeps working
+  /// on the final state. Streams never closed remain unreported (their
+  /// live traffic stays in the snapshot tallies).
   std::vector<StreamResult> finish();
 
   [[nodiscard]] EngineSnapshot snapshot() const;
@@ -172,19 +257,45 @@ class StreamEngine {
   };
 
   struct Shard {
-    explicit Shard(const EngineOptions& options)
-        : queue(options.queue_capacity),
-          sessions(options.machine, options.scheduler,
-                   options.record_decisions) {}
+    Shard(const EngineOptions& options, std::size_t index)
+        : sessions(options.machine, options.scheduler,
+                   options.record_decisions, shard_spill(options, index)) {
+      queues.reserve(options.max_producers);
+      for (std::size_t p = 0; p < options.max_producers; ++p)
+        queues.push_back(
+            std::make_unique<SpscQueue<ShardOp>>(options.queue_capacity));
+    }
 
-    SpscQueue<ShardOp> queue;
+    static ingest::SpillOptions shard_spill(const EngineOptions& options,
+                                            std::size_t index) {
+      ingest::SpillOptions spill = options.spill;
+      if (!spill.directory.empty())
+        spill.directory += "/shard_" + std::to_string(index);
+      return spill;
+    }
+
+    [[nodiscard]] bool queues_empty() const {
+      for (const auto& queue : queues)
+        if (!queue->empty()) return false;
+      return true;
+    }
+    [[nodiscard]] std::size_t queue_depth() const {
+      std::size_t depth = 0;
+      for (const auto& queue : queues) depth += queue->size();
+      return depth;
+    }
+
+    /// One SPSC ring per producer slot; MPSC by composition.
+    std::vector<std::unique_ptr<SpscQueue<ShardOp>>> queues;
     SessionTable sessions;  // worker-owned after start
     std::thread worker;
 
     // Producer-side tallies (atomic so snapshot() can read cross-thread).
     std::atomic<long long> enqueued{0};
+    std::atomic<long long> admission_rejects{0};
     std::atomic<long long> queue_rejects{0};
     std::atomic<long long> full_waits{0};
+    std::atomic<long long> late_rejects{0};
 
     // Sleep/wake handshake (see worker_loop for the fence protocol).
     std::atomic<bool> sleeping{false};
@@ -197,17 +308,30 @@ class StreamEngine {
     ShardSnapshot published;
   };
 
-  bool enqueue(std::size_t shard_index, ShardOp op);
+  bool enqueue(std::size_t slot, std::size_t shard_index, ShardOp op);
+  void release_producer(std::size_t slot);
   void wake(Shard& shard);
   void worker_loop(Shard& shard);
   void stop();
 
   EngineOptions options_;
   StreamRouter router_;
+  ingest::AdmissionGate admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> paused_{false};
   std::atomic<bool> stopping_{false};
-  bool finished_ = false;
+  std::atomic<bool> finished_{false};
+
+  // Shutdown gate: enqueue() registers in in_flight_ before checking
+  // accepting_; stop() flips accepting_ then waits in_flight_ out, so no op
+  // can slip into a ring after the final drain target is read.
+  std::atomic<bool> accepting_{true};
+  std::atomic<long long> in_flight_{0};
+
+  // Producer-slot registry (slot 0 is the owner thread, permanently taken).
+  mutable std::mutex producer_mutex_;
+  std::vector<bool> slot_used_;
+  std::size_t active_producers_ = 0;
 };
 
 }  // namespace pss::stream

@@ -1,0 +1,45 @@
+#include "stream/replay.hpp"
+
+#include <istream>
+#include <thread>
+
+#include "ingest/op_log.hpp"
+
+namespace pss::stream {
+
+ReplayStats replay_op_log(std::istream& is, StreamEngine& engine) {
+  ingest::OpLogReader reader(is);
+  ReplayStats stats;
+  ingest::IngestOp op;
+  while (reader.next(op)) {
+    ++stats.frames;
+    switch (op.kind) {
+      case ingest::OpKind::kArrival:
+        if (engine.feed(StreamId(op.stream), op.job))
+          ++stats.applied;
+        else
+          ++stats.arrival_sheds;
+        break;
+      case ingest::OpKind::kOpen:
+        while (!engine.open(StreamId(op.stream))) std::this_thread::yield();
+        ++stats.applied;
+        break;
+      case ingest::OpKind::kAdvance:
+        while (!engine.advance(StreamId(op.stream), op.time))
+          std::this_thread::yield();
+        ++stats.applied;
+        break;
+      case ingest::OpKind::kClose:
+        while (!engine.close_stream(StreamId(op.stream)))
+          std::this_thread::yield();
+        ++stats.applied;
+        break;
+      case ingest::OpKind::kCheckpointMark:
+        ++stats.marks;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace pss::stream

@@ -1,0 +1,40 @@
+// Op-log replay into a StreamEngine.
+//
+// Replays a binary op log (src/ingest/op_log.hpp) through an engine exactly
+// as a live producer would have issued it: arrivals feed, advances tick,
+// opens/closes drive the session lifecycle. Because the engine is bitwise
+// deterministic per stream, a replay under the same scheduler options
+// yields bitwise-identical decisions, counters and energies to the run
+// that produced the log — the property `pss_cli replay` and the ingest
+// tests pin.
+//
+// Control ops (open/advance/close) are retried until the ring takes them,
+// mirroring sim::sweep_streams: shedding a close would silently drop a
+// stream's result. Arrivals are offered once — whether one is shed (by the
+// admission gate or kReject backpressure) is the policy outcome under
+// replay, and it is counted, not hidden. Replay for bit-identical results
+// therefore wants the default kBlock/no-admission configuration.
+//
+// kCheckpointMark frames are counted and skipped; a harness that wants to
+// reproduce a checkpoint split can drive OpLogReader itself.
+#pragma once
+
+#include <iosfwd>
+
+#include "stream/engine.hpp"
+
+namespace pss::stream {
+
+struct ReplayStats {
+  long long frames = 0;        // frames decoded from the log
+  long long applied = 0;       // ops the engine accepted into a ring
+  long long arrival_sheds = 0; // arrivals refused (admission/backpressure)
+  long long marks = 0;         // checkpoint marks seen (skipped)
+};
+
+/// Replays the op log on `is` into `engine` (which keeps serving; callers
+/// drain/finish as usual). Throws std::invalid_argument on a malformed
+/// log, after the well-formed prefix has been applied.
+ReplayStats replay_op_log(std::istream& is, StreamEngine& engine);
+
+}  // namespace pss::stream

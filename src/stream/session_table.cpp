@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "io/state_io.hpp"
@@ -10,17 +11,53 @@
 
 namespace pss::stream {
 
+std::unique_ptr<core::PdScheduler> SessionTable::recycled_scheduler() {
+  if (!free_.empty()) {
+    std::unique_ptr<core::PdScheduler> scheduler = std::move(free_.back());
+    free_.pop_back();
+    return scheduler;
+  }
+  return std::make_unique<core::PdScheduler>(machine_, options_);
+}
+
+void SessionTable::evict_to_budget() {
+  if (!store_) return;
+  while (open_.size() > spill_options_.max_resident && open_.size() > 1) {
+    const StreamId victim = lru_.back();  // coldest resident
+    auto it = open_.find(victim);
+    PSS_CHECK(it != open_.end(), "lru/table desync");
+    std::ostringstream blob;
+    io::save_scheduler(blob, *it->second.scheduler);
+    store_->put(victim, std::move(blob).str());
+    ++spills_;
+    it->second.scheduler->reset();
+    free_.push_back(std::move(it->second.scheduler));
+    lru_.pop_back();
+    open_.erase(it);
+  }
+}
+
 core::PdScheduler& SessionTable::session(StreamId id) {
   auto it = open_.find(id);
-  if (it != open_.end()) return *it->second;
-  std::unique_ptr<core::PdScheduler> scheduler;
-  if (!free_.empty()) {
-    scheduler = std::move(free_.back());
-    free_.pop_back();
-  } else {
-    scheduler = std::make_unique<core::PdScheduler>(machine_, options_);
+  if (it != open_.end()) {
+    // Touch: move to the LRU front so the budget evicts someone colder.
+    if (store_ && it->second.lru != lru_.begin())
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return *it->second.scheduler;
   }
-  return *open_.emplace(id, std::move(scheduler)).first->second;
+  std::unique_ptr<core::PdScheduler> scheduler = recycled_scheduler();
+  std::string blob;
+  if (store_ && store_->take(id, blob)) {
+    std::istringstream in(std::move(blob));
+    io::load_scheduler(in, *scheduler);
+    ++spill_restores_;
+  }
+  lru_.push_front(id);
+  core::PdScheduler& ref =
+      *open_.emplace(id, Resident{std::move(scheduler), lru_.begin()})
+           .first->second.scheduler;
+  evict_to_budget();
+  return ref;
 }
 
 void SessionTable::open(StreamId id) { session(id); }
@@ -41,8 +78,13 @@ bool SessionTable::advance(StreamId id, double t) {
 
 const StreamResult* SessionTable::close(StreamId id) {
   auto it = open_.find(id);
-  if (it == open_.end()) return nullptr;
-  core::PdScheduler& scheduler = *it->second;
+  if (it == open_.end()) {
+    if (!store_ || !store_->contains(id)) return nullptr;
+    session(id);  // restore the spilled session so it can be finalized
+    it = open_.find(id);
+    PSS_CHECK(it != open_.end(), "restored session missing");
+  }
+  core::PdScheduler& scheduler = *it->second.scheduler;
   StreamResult result;
   result.id = id;
   result.counters = scheduler.counters();
@@ -51,20 +93,34 @@ const StreamResult* SessionTable::close(StreamId id) {
   completed_.push_back(std::move(result));
   ++num_closed_;
   scheduler.reset();
-  free_.push_back(std::move(it->second));
+  free_.push_back(std::move(it->second.scheduler));
+  lru_.erase(it->second.lru);
   open_.erase(it);
   return &completed_.back();
 }
 
 void SessionTable::checkpoint(std::ostream& os) const {
+  // One sorted id walk over residents and spilled sessions together. A
+  // spilled blob *is* a save_scheduler image, and identical state serializes
+  // to identical bytes, so writing stored blobs verbatim keeps the format —
+  // and the checkpoint bytes — independent of what happened to be resident.
   std::vector<StreamId> ids;
-  ids.reserve(open_.size());
-  for (const auto& [id, scheduler] : open_) ids.push_back(id);
+  ids.reserve(num_open());
+  for (const auto& [id, resident] : open_) ids.push_back(id);
+  if (store_)
+    for (std::uint64_t key : store_->keys()) ids.push_back(key);
   std::sort(ids.begin(), ids.end());
   io::write_u64(os, ids.size());
   for (StreamId id : ids) {
     io::write_u64(os, id);
-    io::save_scheduler(os, *open_.at(id));
+    auto it = open_.find(id);
+    if (it != open_.end()) {
+      io::save_scheduler(os, *it->second.scheduler);
+    } else {
+      std::string blob;
+      PSS_CHECK(store_ && store_->peek(id, blob), "spilled blob missing");
+      os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
   }
   io::write_i64(os, num_closed_);
   io::write_u64(os, completed_.size());
@@ -94,11 +150,14 @@ std::uint64_t read_count(std::istream& is) {
 }  // namespace
 
 void SessionTable::restore(std::istream& is) {
-  PSS_REQUIRE(open_.empty() && completed_.empty() && num_closed_ == 0,
+  PSS_REQUIRE(open_.empty() && num_spilled() == 0 && completed_.empty() &&
+                  num_closed_ == 0,
               "restore target table must be empty");
   const std::uint64_t n_open = read_count(is);
   for (std::uint64_t i = 0; i < n_open; ++i) {
     const auto id = static_cast<StreamId>(io::read_u64(is));
+    // session() may evict an earlier restored session to honor the budget;
+    // the load lands in the fresh resident either way.
     io::load_scheduler(is, session(id));
   }
   num_closed_ = io::read_i64(is);

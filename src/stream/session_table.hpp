@@ -8,6 +8,14 @@
 // stream (PdScheduler::reset() is the reuse entry point, so a long-running
 // shard serving millions of short streams does not churn allocations).
 //
+// Under an ingest::SpillOptions residency budget the table additionally
+// keeps at most `max_resident` sessions live: the least-recently-touched
+// session is serialized through the state_io checkpoint path into a spill
+// store and its scheduler recycled; the next op touching the stream restores
+// the blob and serves on. Spilling is decision-identical by construction
+// (the checkpoint contract round-trips semantic state bitwise; only derived
+// caches rebuild cold), so it bounds memory without perturbing the algorithm.
+//
 // Single-threaded by design: each shard worker owns exactly one table.
 // Cross-thread aggregation happens above, in the engine's snapshot path.
 #pragma once
@@ -16,12 +24,14 @@
 #include <deque>
 #include <iosfwd>
 #include <iterator>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/pd_scheduler.hpp"
+#include "ingest/spill.hpp"
 #include "model/job.hpp"
 #include "stream/router.hpp"
 
@@ -41,10 +51,12 @@ struct StreamResult {
 class SessionTable {
  public:
   SessionTable(model::Machine machine, core::PdOptions options,
-               bool record_decisions)
+               bool record_decisions, ingest::SpillOptions spill = {})
       : machine_(machine),
         options_(options),
-        record_decisions_(record_decisions) {
+        record_decisions_(record_decisions),
+        spill_options_(std::move(spill)),
+        store_(ingest::make_spill_store(spill_options_)) {
     // The capture flag reaches into the schedulers themselves: with it off,
     // no per-arrival log accumulates anywhere, so an indefinitely-running
     // stream holds O(live window) memory, not O(arrivals).
@@ -73,8 +85,21 @@ class SessionTable {
   /// live in a deque, so later closes never relocate earlier ones).
   const StreamResult* close(StreamId id);
 
-  [[nodiscard]] std::size_t num_open() const { return open_.size(); }
+  /// Logically-open sessions: resident plus spilled.
+  [[nodiscard]] std::size_t num_open() const {
+    return open_.size() + num_spilled();
+  }
   [[nodiscard]] long long num_closed() const { return num_closed_; }
+
+  /// Residency accounting (all zero-cost; spilled is 0 without a budget).
+  [[nodiscard]] std::size_t num_resident() const { return open_.size(); }
+  [[nodiscard]] std::size_t num_spilled() const {
+    return store_ ? store_->size() : 0;
+  }
+  [[nodiscard]] long long num_spills() const { return spills_; }
+  [[nodiscard]] long long num_spill_restores() const {
+    return spill_restores_;
+  }
 
   [[nodiscard]] const std::deque<StreamResult>& completed() const {
     return completed_;
@@ -97,15 +122,27 @@ class SessionTable {
   void restore(std::istream& is);
 
  private:
+  struct Resident {
+    std::unique_ptr<core::PdScheduler> scheduler;
+    std::list<StreamId>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
   core::PdScheduler& session(StreamId id);
+  [[nodiscard]] std::unique_ptr<core::PdScheduler> recycled_scheduler();
+  void evict_to_budget();
 
   model::Machine machine_;
   core::PdOptions options_;
   bool record_decisions_;
-  std::unordered_map<StreamId, std::unique_ptr<core::PdScheduler>> open_;
+  ingest::SpillOptions spill_options_;
+  std::unique_ptr<ingest::SpillStore> store_;  // null => spilling disabled
+  std::unordered_map<StreamId, Resident> open_;
+  std::list<StreamId> lru_;  // residents, most recently touched first
   std::vector<std::unique_ptr<core::PdScheduler>> free_;  // reset, reusable
   std::deque<StreamResult> completed_;  // pointer-stable across closes
   long long num_closed_ = 0;
+  long long spills_ = 0;
+  long long spill_restores_ = 0;
 };
 
 }  // namespace pss::stream
