@@ -1,0 +1,376 @@
+// RECOVERY: crash-recovery cost and fidelity for the WAL-checkpoint stack.
+//
+// Measures the two prices an operator pays for crash consistency and the
+// one property that justifies them:
+//
+//   * checkpoint cost — wall time and on-disk bytes of one coordinator
+//     cut (WAL mark + per-shard atomic part publication) as the session
+//     count grows;
+//   * recovery time — restore of the newest valid generation plus replay
+//     of the WAL tail, as the tail length grows (the knob a checkpoint
+//     cadence actually controls);
+//   * torn-part fallback — recovery with the newest generation's parts
+//     truncated mid-body, forcing the per-shard fallback a generation
+//     back and a longer replay.
+//
+// In-driver guards (exit nonzero on violation):
+//   * bitwise_recovery: for every tail length, the recovered engine's
+//     closed-stream energies and PD counters equal the uninterrupted
+//     twin's exactly (== on doubles, no tolerance);
+//   * torn_fallback_bitwise: the same holds when the newest generation is
+//     torn and recovery falls back;
+//   * tail_scaling: replayed frame counts match the cut points (the tail
+//     really is what recovery replays).
+//
+// Env knobs: PSS_RECOVERY_STREAMS (session count ceiling),
+// PSS_RECOVERY_JOBS (arrivals per stream), PSS_RESULT_DIR. Output:
+// BENCH_recovery.json (schema in docs/BUILDING.md) + recovery_summary.csv.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "ingest/op_log.hpp"
+#include "io/checkpoint_dir.hpp"
+#include "sim/stream_sweep.hpp"
+#include "stream/engine.hpp"
+#include "stream/recovery.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+using pss::bench::JsonValue;
+using pss::stream::StreamId;
+
+const pss::model::Machine kMachine{4, 2.5};
+constexpr std::uint64_t kSeed = 20260807;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atoi(value) : fallback;
+}
+
+pss::stream::EngineOptions engine_options() {
+  pss::stream::EngineOptions options;
+  options.num_shards = 4;
+  options.machine = kMachine;
+  options.record_decisions = false;  // serving posture; energies still exact
+  return options;
+}
+
+// The drill workload, flattened to the op sequence the WAL will carry.
+std::vector<pss::ingest::IngestOp> make_ops(int streams, int jobs) {
+  pss::sim::StreamWorkloadConfig config;
+  config.num_streams = streams;
+  config.jobs_per_stream = jobs;
+  config.base_seed = kSeed;
+  std::vector<pss::ingest::IngestOp> ops;
+  pss::ingest::IngestOp op;
+  // Interleave arrivals round-robin (the contested regime), then close.
+  std::vector<std::vector<pss::model::Job>> stream_jobs;
+  stream_jobs.reserve(std::size_t(streams));
+  for (int s = 0; s < streams; ++s)
+    stream_jobs.push_back(pss::sim::make_stream_jobs(config, s, kMachine.alpha));
+  for (int i = 0; i < jobs; ++i) {
+    for (int s = 0; s < streams; ++s) {
+      op = pss::ingest::IngestOp{};
+      op.kind = pss::ingest::OpKind::kArrival;
+      op.stream = std::uint64_t(s);
+      op.job = stream_jobs[std::size_t(s)][std::size_t(i)];
+      ops.push_back(op);
+    }
+  }
+  op = pss::ingest::IngestOp{};
+  op.kind = pss::ingest::OpKind::kClose;
+  for (int s = 0; s < streams; ++s) {
+    op.stream = std::uint64_t(s);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void apply_op(pss::stream::StreamEngine& engine,
+              const pss::ingest::IngestOp& op) {
+  if (op.kind == pss::ingest::OpKind::kArrival) {
+    engine.feed(StreamId(op.stream), op.job);
+  } else if (op.kind == pss::ingest::OpKind::kClose) {
+    while (!engine.close_stream(StreamId(op.stream)))
+      std::this_thread::yield();
+  }
+}
+
+// Exact-equality fingerprint of a finished engine: the bitwise contract,
+// phrased in aggregates so record_decisions can stay off.
+struct Fingerprint {
+  double closed_energy = 0.0;
+  long long accepted = 0;
+  long long rejected = 0;
+  std::size_t closed = 0;
+  bool operator==(const Fingerprint& other) const {
+    return closed_energy == other.closed_energy &&
+           accepted == other.accepted && rejected == other.rejected &&
+           closed == other.closed;
+  }
+};
+
+Fingerprint finish_fingerprint(pss::stream::StreamEngine& engine) {
+  const std::vector<pss::stream::StreamResult> results = engine.finish();
+  const pss::stream::EngineSnapshot snap = engine.snapshot();
+  Fingerprint fp;
+  for (const pss::stream::StreamResult& r : results)
+    fp.closed_energy += r.planned_energy;
+  fp.accepted = snap.accepted;
+  fp.rejected = snap.rejected;
+  fp.closed = results.size();
+  return fp;
+}
+
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/pss_bench_recovery_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// One interrupted serve: log-then-feed `ops`, cut a checkpoint after
+// `cut_at` ops, keep feeding until `killed_at`, then abandon. Returns the
+// WAL bytes; the checkpoint directory stays at `ckpt_path`.
+struct ServeOutcome {
+  std::string wal_bytes;
+  std::size_t ops_fed = 0;
+  double checkpoint_seconds = 0.0;
+  std::uintmax_t checkpoint_bytes = 0;
+};
+
+ServeOutcome serve_and_kill(const std::vector<pss::ingest::IngestOp>& ops,
+                            const std::string& ckpt_path, std::size_t cut_at,
+                            std::size_t killed_at) {
+  std::ostringstream wal_os(std::ios::binary);
+  pss::ingest::OpLogWriter wal(wal_os);
+  pss::io::CheckpointDir dir(ckpt_path);
+  pss::stream::StreamEngine engine(engine_options());
+  pss::stream::CheckpointCoordinator coordinator(engine, wal, wal_os, dir);
+  ServeOutcome out;
+  for (const pss::ingest::IngestOp& op : ops) {
+    if (out.ops_fed >= killed_at) break;
+    wal.append(op);
+    apply_op(engine, op);
+    ++out.ops_fed;
+    if (out.ops_fed == cut_at) {
+      const auto start = clock_type::now();
+      coordinator.checkpoint();
+      out.checkpoint_seconds =
+          std::chrono::duration<double>(clock_type::now() - start).count();
+      for (const auto& entry :
+           std::filesystem::directory_iterator(ckpt_path))
+        if (entry.is_regular_file())
+          out.checkpoint_bytes += entry.file_size();
+    }
+  }
+  out.wal_bytes = wal_os.str();
+  return out;
+}
+
+struct RecoveryOutcome {
+  double seconds = 0.0;
+  pss::stream::RecoveryReport report;
+  Fingerprint fingerprint;
+};
+
+// Failover: recover a fresh engine from disk + WAL, feed the ops the dead
+// process never fed, and fingerprint the finished state.
+RecoveryOutcome recover_and_finish(const std::vector<pss::ingest::IngestOp>& ops,
+                                   const std::string& ckpt_path,
+                                   const ServeOutcome& outcome) {
+  pss::stream::StreamEngine engine(engine_options());
+  pss::io::CheckpointDir dir(ckpt_path);
+  std::istringstream wal_is(outcome.wal_bytes, std::ios::binary);
+  RecoveryOutcome result;
+  const auto start = clock_type::now();
+  result.report = pss::stream::recover_engine(engine, dir, wal_is);
+  result.seconds =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+  for (std::size_t i = outcome.ops_fed; i < ops.size(); ++i)
+    apply_op(engine, ops[i]);
+  result.fingerprint = finish_fingerprint(engine);
+  return result;
+}
+
+// Tears every part of the newest generation mid-body, so recovery must
+// fall back a generation per shard.
+void tear_newest_generation(const std::string& ckpt_path) {
+  std::uintmax_t newest = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name[0] == 'g' && name.ends_with(".pssc"))
+      newest = std::max(newest,
+                        std::uintmax_t(std::stoull(name.substr(1, 8))));
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name[0] == 'g' && name.ends_with(".pssc") &&
+        std::uintmax_t(std::stoull(name.substr(1, 8))) == newest)
+      std::filesystem::resize_file(entry.path(), entry.file_size() / 2);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int streams = env_int("PSS_RECOVERY_STREAMS", 256);
+  const int jobs = env_int("PSS_RECOVERY_JOBS", 6);
+
+  pss::bench::print_header(
+      "RECOVERY",
+      "crash-recovery cost: checkpoint cuts, WAL tail replay, torn-part "
+      "fallback — all guarded bitwise against an uninterrupted twin");
+
+  bool ok = true;
+
+  // ---------------------------------------------- checkpoint cost curve
+  pss::util::Table ckpt_table(
+      {"sessions", "ops", "ckpt seconds", "ckpt bytes"});
+  ckpt_table.set_precision(6);
+  JsonValue ckpt_samples = JsonValue::array();
+  for (int s = streams / 4; s <= streams; s *= 2) {
+    const std::vector<pss::ingest::IngestOp> ops = make_ops(s, jobs);
+    const std::string ckpt = scratch_dir("ckptcost");
+    // Cut right before the closes: every session is open and counted.
+    const std::size_t cut = std::size_t(s) * std::size_t(jobs);
+    const ServeOutcome outcome = serve_and_kill(ops, ckpt, cut, cut);
+    ckpt_table.add_row({(long long)s, (long long)outcome.ops_fed,
+                        outcome.checkpoint_seconds,
+                        (long long)outcome.checkpoint_bytes});
+    ckpt_samples.push(
+        JsonValue::object()
+            .set("sessions", JsonValue::integer(s))
+            .set("seconds", JsonValue::number(outcome.checkpoint_seconds))
+            .set("bytes",
+                 JsonValue::integer((long long)outcome.checkpoint_bytes)));
+    std::filesystem::remove_all(ckpt);
+  }
+  pss::bench::emit(ckpt_table, "recovery_checkpoint_cost.csv");
+
+  // ------------------------------------------------- recovery vs tail
+  const std::vector<pss::ingest::IngestOp> ops = make_ops(streams, jobs);
+  const std::size_t total = ops.size();
+
+  // The uninterrupted twin is the reference fingerprint.
+  Fingerprint want;
+  {
+    pss::stream::StreamEngine engine(engine_options());
+    for (const pss::ingest::IngestOp& op : ops) apply_op(engine, op);
+    want = finish_fingerprint(engine);
+  }
+
+  pss::util::Table rec_table({"cut at", "wal frames", "recover seconds",
+                              "replayed", "skipped", "bitwise"});
+  rec_table.set_precision(6);
+  JsonValue rec_samples = JsonValue::array();
+  bool tail_scaling = true;
+  for (const double fraction : {0.9, 0.5, 0.1}) {
+    const std::size_t cut = std::size_t(double(total) * fraction);
+    const std::string ckpt = scratch_dir("tail");
+    const ServeOutcome outcome =
+        serve_and_kill(ops, ckpt, cut, total * 19 / 20);
+    const RecoveryOutcome recovered = recover_and_finish(ops, ckpt, outcome);
+    const bool bitwise = recovered.fingerprint == want;
+    ok = ok && bitwise;
+    // Replay must cover exactly the ops fed after the cut.
+    tail_scaling =
+        tail_scaling &&
+        recovered.report.frames_replayed ==
+            (long long)(outcome.ops_fed - cut) &&
+        recovered.report.frames_skipped == (long long)cut;
+    rec_table.add_row({(long long)cut,
+                       recovered.report.frames_seen,
+                       recovered.seconds, recovered.report.frames_replayed,
+                       recovered.report.frames_skipped,
+                       std::string(bitwise ? "yes" : "NO")});
+    rec_samples.push(
+        JsonValue::object()
+            .set("cut_at", JsonValue::integer((long long)cut))
+            .set("tail_frames",
+                 JsonValue::integer(recovered.report.frames_replayed))
+            .set("seconds", JsonValue::number(recovered.seconds))
+            .set("frames_skipped",
+                 JsonValue::integer(recovered.report.frames_skipped))
+            .set("bitwise", JsonValue::boolean(bitwise)));
+    std::filesystem::remove_all(ckpt);
+  }
+  pss::bench::emit(rec_table, "recovery_summary.csv");
+
+  // ------------------------------------------------- torn-part fallback
+  JsonValue torn_json = JsonValue::object();
+  {
+    const std::string ckpt = scratch_dir("torn");
+    const std::size_t first_cut = total / 3;
+    std::ostringstream wal_os(std::ios::binary);
+    pss::ingest::OpLogWriter wal(wal_os);
+    pss::io::CheckpointDir dir(ckpt);
+    std::size_t fed = 0;
+    {
+      pss::stream::StreamEngine engine(engine_options());
+      pss::stream::CheckpointCoordinator coordinator(engine, wal, wal_os,
+                                                     dir);
+      for (const pss::ingest::IngestOp& op : ops) {
+        if (fed >= total * 3 / 4) break;
+        wal.append(op);
+        apply_op(engine, op);
+        ++fed;
+        if (fed == first_cut || fed == 2 * first_cut)
+          coordinator.checkpoint();
+      }
+    }
+    tear_newest_generation(ckpt);
+    ServeOutcome outcome;
+    outcome.wal_bytes = wal_os.str();
+    outcome.ops_fed = fed;
+    const RecoveryOutcome recovered = recover_and_finish(ops, ckpt, outcome);
+    const bool bitwise = recovered.fingerprint == want;
+    const bool fell_back = recovered.report.torn_parts > 0;
+    ok = ok && bitwise && fell_back;
+    if (!fell_back)
+      std::cerr << "FATAL: torn newest generation was not detected\n";
+    std::cout << "torn fallback: " << recovered.report.torn_parts
+              << " torn parts skipped, recovered from generation "
+              << recovered.report.generation << ", bitwise "
+              << (bitwise ? "yes" : "NO") << "\n";
+    torn_json.set("torn_parts",
+                  JsonValue::integer(recovered.report.torn_parts))
+        .set("fallback_generation",
+             JsonValue::integer((long long)recovered.report.generation))
+        .set("seconds", JsonValue::number(recovered.seconds))
+        .set("bitwise", JsonValue::boolean(bitwise));
+    std::filesystem::remove_all(ckpt);
+  }
+
+  if (!ok)
+    std::cerr << "FATAL: a recovered engine diverged from its "
+                 "uninterrupted twin\n";
+  if (!tail_scaling)
+    std::cerr << "FATAL: replayed/skipped frame counts do not match the "
+                 "checkpoint cut points\n";
+
+  JsonValue root = JsonValue::object();
+  root.set("bench", JsonValue::string("recovery"))
+      .set("machine",
+           JsonValue::object()
+               .set("processors", JsonValue::integer(kMachine.num_processors))
+               .set("alpha", JsonValue::number(kMachine.alpha)))
+      .set("streams", JsonValue::integer(streams))
+      .set("jobs_per_stream", JsonValue::integer(jobs))
+      .set("bitwise_recovery", JsonValue::boolean(ok))
+      .set("tail_scaling", JsonValue::boolean(tail_scaling))
+      .set("checkpoint_cost", std::move(ckpt_samples))
+      .set("recovery", std::move(rec_samples))
+      .set("torn_fallback", std::move(torn_json));
+  pss::bench::emit_json(std::move(root), "BENCH_recovery.json", kSeed);
+
+  return ok && tail_scaling ? 0 : 1;
+}

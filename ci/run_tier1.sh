@@ -141,6 +141,40 @@ else
 fi
 echo "soak-smoke: OK (${BUILD_DIR}/bench_results/BENCH_soak.json)"
 
+# Recovery smoke: small crash-recovery run of the WAL-checkpoint stack.
+# The driver exits nonzero if any recovered engine diverges from its
+# uninterrupted twin (bitwise), if the torn newest generation is not
+# detected and skipped, or if replayed/skipped frame counts do not match
+# the checkpoint cut points.
+PSS_RECOVERY_STREAMS=64 PSS_RECOVERY_JOBS=4 PSS_RESULT_DIR=bench_results \
+  ./bench_recovery > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool bench_results/BENCH_recovery.json > /dev/null
+else
+  grep -q '"bitwise_recovery": true' bench_results/BENCH_recovery.json
+fi
+echo "recovery-smoke: OK (${BUILD_DIR}/bench_results/BENCH_recovery.json)"
+
+# Crash drill, out of process: kill the serving CLI with an injected
+# std::_Exit at the checkpoint-rename fault site, then recover from the
+# torn directory + WAL and finish the streams. The kill must exit with
+# the fault code (42) and the recovery must succeed.
+drill_dir="bench_results/crash_drill"
+rm -rf "${drill_dir}" && mkdir -p "${drill_dir}"
+rc=0
+PSS_FAULT_SITE=ckpt.part.rename PSS_FAULT_AFTER=3 PSS_FAULT_KIND=exit \
+  ./pss_cli serve --streams 16 --jobs 6 --shards 4 \
+  --wal "${drill_dir}/drill.wal" --ckpt-dir "${drill_dir}/ckpt" \
+  --checkpoint-every 20 > /dev/null || rc=$?
+if [ "${rc}" -ne 42 ]; then
+  echo "FATAL: injected kill did not terminate the serving CLI (exit ${rc})" >&2
+  exit 1
+fi
+./pss_cli recover --wal "${drill_dir}/drill.wal" \
+  --ckpt-dir "${drill_dir}/ckpt" --shards 4 > "${drill_dir}/recover.txt"
+grep -q "recovered from generation" "${drill_dir}/recover.txt"
+echo "crash-drill: OK (serve killed at ckpt.part.rename, recovery clean)"
+
 # Docs-consistency gate: every BENCH_*.json a smoke stage emitted must
 # have its schema documented in docs/BUILDING.md — a new bench artifact
 # cannot land without its format being written down.
@@ -162,12 +196,13 @@ cd "${ROOT}"
 SAN_DIR="${BUILD_DIR}-asan"
 rm -rf "${SAN_DIR}"
 cmake -B "${SAN_DIR}" -S . -DPSS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug > /dev/null
-cmake --build "${SAN_DIR}" -j --target test_compaction test_stream test_interval_store
+cmake --build "${SAN_DIR}" -j --target test_compaction test_stream test_interval_store test_recovery
 cd "${SAN_DIR}"
 UBSAN_OPTIONS=halt_on_error=1 ./test_compaction > /dev/null
 UBSAN_OPTIONS=halt_on_error=1 ./test_stream > /dev/null
 UBSAN_OPTIONS=halt_on_error=1 ./test_interval_store > /dev/null
-echo "sanitizers: OK (ASan+UBSan clean on compaction/restore/stream suites)"
+UBSAN_OPTIONS=halt_on_error=1 ./test_recovery > /dev/null
+echo "sanitizers: OK (ASan+UBSan clean on compaction/restore/stream/recovery suites)"
 
 # ThreadSanitizer pass over the concurrent surface: the MPSC rings, the
 # producer handles, the shutdown gate and the engine/ingest suites that

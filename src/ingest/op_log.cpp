@@ -1,11 +1,11 @@
 #include "ingest/op_log.hpp"
 
-#include <array>
 #include <istream>
 #include <ostream>
 
 #include "io/state_io.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace pss::ingest {
 
@@ -22,17 +22,6 @@ constexpr std::size_t kBaseSize = 1 + 8;            // kind + stream
 constexpr std::size_t kArrivalSize = kBaseSize + 40;  // id + 4 doubles
 constexpr std::size_t kAdvanceSize = kBaseSize + 8;   // time
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
-
 unsigned char* buf(std::string& s, std::size_t at) {
   return reinterpret_cast<unsigned char*>(s.data()) + at;
 }
@@ -40,11 +29,7 @@ unsigned char* buf(std::string& s, std::size_t at) {
 }  // namespace
 
 std::uint32_t crc32(const unsigned char* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
+  return io::crc32(data, len);
 }
 
 // ----------------------------------------------------------------- writer
@@ -84,7 +69,15 @@ void OpLogWriter::append(const IngestOp& op) {
   }
   io::write_u8(os_, kFrameMagic);
   io::write_u64(os_, body_.size());
-  os_.write(body_.data(), static_cast<std::streamsize>(body_.size()));
+  // Body in two halves around the tear site, so a crash drill leaves a
+  // deterministically-truncated final frame — the case the reader's
+  // tail_truncated() contract exists for.
+  const std::size_t half = body_.size() / 2;
+  os_.write(body_.data(), static_cast<std::streamsize>(half));
+  if (util::FaultInjector::instance().enabled()) os_.flush();
+  PSS_FAULT_POINT("wal.append");
+  os_.write(body_.data() + half,
+            static_cast<std::streamsize>(body_.size() - half));
   PSS_CHECK(os_.good(), "op log: write failed");
   io::write_u64(os_, crc32(buf(body_, 0), body_.size()));
   ++frames_;
@@ -97,17 +90,36 @@ OpLogReader::OpLogReader(std::istream& is) : is_(is) {
               "op log: bad file magic/version");
 }
 
+bool OpLogReader::try_read(char* dst, std::size_t len) {
+  is_.read(dst, static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(is_.gcount()) == len) return true;
+  // Short read past the first byte of a frame: the writer was killed
+  // mid-append. That tail is unrecoverable but *expected* — flag it and
+  // end the log cleanly rather than throwing.
+  truncated_ = true;
+  return false;
+}
+
 bool OpLogReader::next(IngestOp& op) {
+  PSS_CHECK(!truncated_, "op log: read past a truncated tail");
   if (is_.peek() == std::istream::traits_type::eof()) return false;
+  // From here every short read means a torn final frame (a crash leaves a
+  // byte-prefix of a valid log). A *complete* field with a wrong value —
+  // bad magic, absurd length, CRC mismatch, unknown kind — can only come
+  // from corruption or a splice, and stays a hard error.
   PSS_REQUIRE(io::read_u8(is_) == kFrameMagic, "op log: bad frame magic");
-  const std::uint64_t body_len = io::read_u64(is_);
+  char len_bytes[8];
+  if (!try_read(len_bytes, 8)) return false;
+  const std::uint64_t body_len =
+      io::fetch_u64(reinterpret_cast<const unsigned char*>(len_bytes));
   PSS_REQUIRE(body_len >= kBaseSize && body_len <= kMaxBody,
               "op log: implausible frame length");
   body_.resize(body_len);
-  is_.read(body_.data(), static_cast<std::streamsize>(body_len));
-  PSS_REQUIRE(static_cast<std::uint64_t>(is_.gcount()) == body_len,
-              "op log: truncated frame body");
-  const std::uint64_t stored_crc = io::read_u64(is_);
+  if (!try_read(body_.data(), body_len)) return false;
+  char crc_bytes[8];
+  if (!try_read(crc_bytes, 8)) return false;
+  const std::uint64_t stored_crc =
+      io::fetch_u64(reinterpret_cast<const unsigned char*>(crc_bytes));
   PSS_REQUIRE(stored_crc == crc32(buf(body_, 0), body_len),
               "op log: frame checksum mismatch");
 

@@ -20,12 +20,22 @@
 //   payload(kOpen | kClose | kCheckpointMark) := (empty)
 //
 // Every frame carries its own CRC-32 (poly 0xEDB88320, over the body
-// bytes), so truncation, bit rot and splices are caught per frame: the
-// reader throws std::invalid_argument naming the defect, and a replay
-// driver can choose to stop or skip without ever feeding garbage to a
-// session. body_len is guarded against absurd values *before* any
-// allocation. kCheckpointMark records "a checkpoint was cut here" so a
-// replay harness can reproduce checkpoint/restore splits byte-for-byte.
+// bytes), so truncation, bit rot and splices are caught per frame. Two
+// defect classes get different treatment, because a crash leaves a
+// byte-prefix of a valid log and nothing else:
+//
+//   * a SHORT final frame (the writer was killed mid-append) is the
+//     expected shape of a crashed log — next() returns false and sets
+//     tail_truncated(), so recovery replays everything before the tear;
+//   * a COMPLETE field with a wrong value — bad frame magic, absurd
+//     length, CRC mismatch, unknown kind — cannot be produced by a kill
+//     and stays std::invalid_argument naming the defect, so corruption is
+//     never silently fed to a session. body_len is guarded against absurd
+//     values *before* any allocation.
+//
+// kCheckpointMark records "a checkpoint was cut here" so a replay harness
+// can reproduce checkpoint/restore splits byte-for-byte; stream/recovery
+// counts marks to find the replay resume point.
 //
 // Thread contract: a writer or reader belongs to one thread.
 #pragma once
@@ -82,18 +92,27 @@ class OpLogReader {
   /// magic). The stream must outlive the reader.
   explicit OpLogReader(std::istream& is);
 
-  /// Reads the next frame into `op`. Returns false on clean end-of-log.
-  /// Throws std::invalid_argument on any malformed frame — bad frame
-  /// magic, oversized or truncated body, CRC mismatch, unknown op kind,
+  /// Reads the next frame into `op`. Returns false at end-of-log — either
+  /// a clean EOF or a truncated final frame (see tail_truncated()).
+  /// Throws std::invalid_argument on a malformed *complete* frame — bad
+  /// frame magic, implausible length, CRC mismatch, unknown op kind,
   /// payload/kind size mismatch.
   bool next(IngestOp& op);
+
+  /// True iff the log ended in a partially-written frame (writer killed
+  /// mid-append). Everything next() returned before that is intact.
+  [[nodiscard]] bool tail_truncated() const { return truncated_; }
 
   [[nodiscard]] long long frames_read() const { return frames_; }
 
  private:
+  /// Reads exactly `len` bytes, or flags the truncated tail and fails.
+  bool try_read(char* dst, std::size_t len);
+
   std::istream& is_;
   std::string body_;  // scratch, reused across frames
   long long frames_ = 0;
+  bool truncated_ = false;
 };
 
 }  // namespace pss::ingest

@@ -1,11 +1,15 @@
 #include "ingest/spill.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace pss::ingest {
 
@@ -46,9 +50,14 @@ std::vector<std::uint64_t> MemorySpillStore::keys() const {
 
 // --------------------------------------------------------- FileSpillStore
 
-FileSpillStore::FileSpillStore(std::string directory)
-    : directory_(std::move(directory)) {
+FileSpillStore::FileSpillStore(std::string directory, int max_retries,
+                               long long retry_backoff_us)
+    : directory_(std::move(directory)),
+      max_retries_(max_retries),
+      retry_backoff_us_(retry_backoff_us) {
   PSS_REQUIRE(!directory_.empty(), "file spill store needs a directory");
+  PSS_REQUIRE(max_retries_ >= 0, "spill retries must be >= 0");
+  PSS_REQUIRE(retry_backoff_us_ >= 0, "spill backoff must be >= 0");
   std::filesystem::create_directories(directory_);
   // Adopt whatever a previous process spilled here (restart reuse).
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
@@ -65,27 +74,62 @@ std::string FileSpillStore::path_of(std::uint64_t key) const {
   return directory_ + "/" + std::to_string(key) + ".spill";
 }
 
+template <typename Fn>
+void FileSpillStore::with_retry(const char* what, Fn&& body) const {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      body();
+      return;
+    } catch (const std::exception&) {
+      // Only recoverable IO failures are retried; util::InjectedCrash is
+      // deliberately not a std::exception and sails through — a kill is
+      // not something backoff can fix.
+      if (attempt >= max_retries_) throw;
+      ++io_retries_;
+      if (retry_backoff_us_ > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(retry_backoff_us_ << attempt));
+      (void)what;
+    }
+  }
+}
+
 void FileSpillStore::put(std::uint64_t key, std::string blob) {
-  std::ofstream out(path_of(key), std::ios::binary | std::ios::trunc);
-  PSS_CHECK(out.good(), "spill file open failed: " + path_of(key));
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  PSS_CHECK(out.good(), "spill file write failed: " + path_of(key));
+  with_retry("put", [&] {
+    PSS_FAULT_POINT("spill.put");
+    std::ofstream out(path_of(key), std::ios::binary | std::ios::trunc);
+    PSS_CHECK(out.good(), "spill file open failed: " + path_of(key));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    PSS_CHECK(out.good(), "spill file write failed: " + path_of(key));
+  });
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
   if (it == keys_.end() || *it != key) keys_.insert(it, key);
 }
 
 bool FileSpillStore::peek(std::uint64_t key, std::string& blob) const {
   if (!contains(key)) return false;
-  std::ifstream in(path_of(key), std::ios::binary);
-  PSS_CHECK(in.good(), "spill file read failed: " + path_of(key));
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  blob = std::move(bytes);
+  with_retry("peek", [&] {
+    PSS_FAULT_POINT("spill.peek");
+    std::ifstream in(path_of(key), std::ios::binary);
+    PSS_CHECK(in.good(), "spill file read failed: " + path_of(key));
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    blob = std::move(bytes);
+  });
   return true;
 }
 
 bool FileSpillStore::take(std::uint64_t key, std::string& blob) {
-  if (!peek(key, blob)) return false;
+  if (!contains(key)) return false;
+  with_retry("take", [&] {
+    PSS_FAULT_POINT("spill.take");
+    std::ifstream in(path_of(key), std::ios::binary);
+    PSS_CHECK(in.good(), "spill file read failed: " + path_of(key));
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    blob = std::move(bytes);
+  });
   std::filesystem::remove(path_of(key));
   keys_.erase(std::lower_bound(keys_.begin(), keys_.end(), key));
   return true;
@@ -102,7 +146,9 @@ std::vector<std::uint64_t> FileSpillStore::keys() const { return keys_; }
 std::unique_ptr<SpillStore> make_spill_store(const SpillOptions& options) {
   if (options.max_resident == 0) return nullptr;
   if (!options.directory.empty())
-    return std::make_unique<FileSpillStore>(options.directory);
+    return std::make_unique<FileSpillStore>(options.directory,
+                                            options.max_retries,
+                                            options.retry_backoff_us);
   return std::make_unique<MemorySpillStore>();
 }
 

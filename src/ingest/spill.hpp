@@ -38,6 +38,12 @@ struct SpillOptions {
   /// the in-memory map. The engine appends a per-shard subdirectory so
   /// shards never share files.
   std::string directory;
+  /// Extra attempts after a failed file-store IO op before the error
+  /// propagates (a transient ENOSPC/EIO should not cost a session).
+  int max_retries = 3;
+  /// Backoff before retry i (0-based) is `retry_backoff_us << i`
+  /// microseconds; 0 retries immediately.
+  long long retry_backoff_us = 50;
 };
 
 class SpillStore {
@@ -54,6 +60,8 @@ class SpillStore {
   [[nodiscard]] virtual std::size_t size() const = 0;
   /// All keys, ascending — the deterministic order checkpoint() needs.
   [[nodiscard]] virtual std::vector<std::uint64_t> keys() const = 0;
+  /// IO attempts that failed and were retried (0 for in-memory stores).
+  [[nodiscard]] virtual long long io_retries() const { return 0; }
 };
 
 class MemorySpillStore final : public SpillStore {
@@ -72,8 +80,12 @@ class MemorySpillStore final : public SpillStore {
 class FileSpillStore final : public SpillStore {
  public:
   /// Creates `directory` (and parents) if needed; existing spill files in
-  /// it are adopted (a restart can reuse a spill directory).
-  explicit FileSpillStore(std::string directory);
+  /// it are adopted (a restart can reuse a spill directory). Failed IO ops
+  /// are retried `max_retries` times with exponential backoff before the
+  /// error propagates; fault sites "spill.put" / "spill.peek" /
+  /// "spill.take" sit inside the retried body.
+  explicit FileSpillStore(std::string directory, int max_retries = 3,
+                          long long retry_backoff_us = 50);
 
   void put(std::uint64_t key, std::string blob) override;
   bool take(std::uint64_t key, std::string& blob) override;
@@ -81,12 +93,21 @@ class FileSpillStore final : public SpillStore {
   [[nodiscard]] bool contains(std::uint64_t key) const override;
   [[nodiscard]] std::size_t size() const override;
   [[nodiscard]] std::vector<std::uint64_t> keys() const override;
+  [[nodiscard]] long long io_retries() const override { return io_retries_; }
 
  private:
   [[nodiscard]] std::string path_of(std::uint64_t key) const;
+  /// Runs `body` with up to max_retries_ retries. Retries only
+  /// std::exception-derived failures — an injected crash (a *kill*, not an
+  /// IO error) must propagate on the first hit.
+  template <typename Fn>
+  void with_retry(const char* what, Fn&& body) const;
 
   std::string directory_;
   std::vector<std::uint64_t> keys_;  // sorted
+  int max_retries_;
+  long long retry_backoff_us_;
+  mutable long long io_retries_ = 0;
 };
 
 /// Builds the store SpillOptions describe (memory unless a directory is

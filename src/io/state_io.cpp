@@ -1,6 +1,7 @@
 #include "io/state_io.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <istream>
 #include <ostream>
@@ -70,6 +71,23 @@ void store_f64(unsigned char* p, double v) {
 
 double fetch_f64(const unsigned char* p) {
   return std::bit_cast<double>(fetch_u64(p));
+}
+
+std::uint32_t crc32(const unsigned char* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
 }
 
 namespace {

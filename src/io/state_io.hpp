@@ -23,6 +23,7 @@
 // check directly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
@@ -51,6 +52,11 @@ void store_u64(unsigned char* p, std::uint64_t v);
 [[nodiscard]] std::uint64_t fetch_u64(const unsigned char* p);
 void store_f64(unsigned char* p, double v);
 [[nodiscard]] double fetch_f64(const unsigned char* p);
+
+/// CRC-32 (reflected, poly 0xEDB88320) — the frame checksum shared by the
+/// op-log wire format (src/ingest/op_log) and the crash-consistent
+/// checkpoint files (src/io/checkpoint_dir).
+[[nodiscard]] std::uint32_t crc32(const unsigned char* data, std::size_t len);
 
 /// Full PdCounters image, fixed field order.
 void save_counters(std::ostream& os, const core::PdCounters& c);

@@ -5,8 +5,11 @@
 #include <istream>
 #include <ostream>
 
+#include <string>
+
 #include "io/state_io.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace pss::stream {
 
@@ -141,6 +144,12 @@ bool StreamEngine::enqueue(std::size_t slot, std::size_t shard_index,
     shard.late_rejects.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // A quarantined shard has no worker: refuse-and-count instead of filling
+  // a ring nobody will ever drain (or blocking on it forever).
+  if (shard.quarantined.load(std::memory_order_acquire)) {
+    shard.quarantined_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   SpscQueue<ShardOp>& queue = *shard.queues[slot];
   // Admission: shed-before-enqueue, arrivals only (a shed open/advance/
   // close would corrupt the stream's lifecycle rather than its load).
@@ -160,6 +169,12 @@ bool StreamEngine::enqueue(std::size_t slot, std::size_t shard_index,
     // backpressure slow path, and a bounded poll makes a missed producer
     // wake impossible by construction.
     while (!queue.try_push(op)) {
+      // The worker may die while we block; its quarantine flips before the
+      // notify, so this bounded poll always observes it and escapes.
+      if (shard.quarantined.load(std::memory_order_acquire)) {
+        shard.quarantined_rejects.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       std::unique_lock lock(shard.stats_mutex);
       shard.drained_cv.wait_for(lock, std::chrono::microseconds(100));
     }
@@ -197,15 +212,22 @@ void StreamEngine::resume() {
   }
 }
 
+void StreamEngine::drain_shard(Shard& shard) {
+  const long long target = shard.enqueued.load(std::memory_order_relaxed);
+  std::unique_lock lock(shard.stats_mutex);
+  // A quarantined shard will never reach the target; waiting on a dead
+  // worker must not wedge the caller (the stranded ops are part of the
+  // shard's blast radius, reported via degraded_sessions).
+  shard.drained_cv.wait(lock, [&] {
+    return shard.published.processed >= target ||
+           shard.quarantined.load(std::memory_order_acquire);
+  });
+}
+
 void StreamEngine::drain() {
   PSS_REQUIRE(!paused_.load(std::memory_order_relaxed),
               "draining a paused engine would deadlock");
-  for (auto& shard : shards_) {
-    const long long target = shard->enqueued.load(std::memory_order_relaxed);
-    std::unique_lock lock(shard->stats_mutex);
-    shard->drained_cv.wait(
-        lock, [&] { return shard->published.processed >= target; });
-  }
+  for (auto& shard : shards_) drain_shard(*shard);
 }
 
 void StreamEngine::stop() {
@@ -229,24 +251,33 @@ void StreamEngine::stop() {
 // ------------------------------------------------------ checkpoint/restore
 
 namespace {
-// "PSSCKPT2" as a little-endian u64 — version byte last. (v2 added the
-// admission/late-reject tallies to the per-shard stats block.)
-constexpr std::uint64_t kCheckpointMagic = 0x3254504B43535350ull;
+// "PSSCKPT3" as a little-endian u64 — version byte last. (v2 added the
+// admission/late-reject tallies to the per-shard stats block; v3 added the
+// WAL checkpoint-mark stamp for crash recovery.)
+constexpr std::uint64_t kCheckpointMagic = 0x3354504B43535350ull;
+// "PSSSHRD1": a single-shard image (checkpoint_shard / restore_shard).
+constexpr std::uint64_t kShardMagic = 0x3144524853535350ull;
 }  // namespace
 
-void StreamEngine::checkpoint(std::ostream& os) {
-  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
-              "engine already finished");
-  PSS_REQUIRE(active_producers() == 0,
-              "release every extra producer before checkpoint");
-  // After drain() every worker has applied all ops it will ever see until
-  // the next enqueue, and a worker facing empty rings never touches its
-  // session table — so the tables are quiescent for the reads below. The
-  // stats-mutex handshake inside drain() ordered the workers' session
-  // writes before them. (No extra producers exist — just checked — so the
-  // owner thread is the only possible enqueuer, and it is here.)
-  drain();
-  io::write_u64(os, kCheckpointMagic);
+bool StreamEngine::quiesce_producers() {
+  // Bounded grace instead of an immediate refusal: a checkpoint cadence
+  // usually lands while short-lived producer handles wind down, and waiting
+  // out that window beats failing the cadence. The deadline keeps a leaked
+  // handle from wedging the serving loop — on timeout the checkpoint is
+  // refused and counted, and the caller retries at the next cadence.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.quiesce_timeout_ms);
+  while (active_producers() != 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      checkpoint_refusals_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void StreamEngine::write_config(std::ostream& os) const {
   io::write_u64(os, options_.num_shards);
   io::write_i64(os, options_.machine.num_processors);
   io::write_f64(os, options_.machine.alpha);
@@ -257,41 +288,9 @@ void StreamEngine::checkpoint(std::ostream& os) {
   io::write_u8(os, options_.scheduler.windowed ? 1 : 0);
   io::write_u8(os, options_.scheduler.lazy ? 1 : 0);
   io::write_u8(os, options_.record_decisions ? 1 : 0);
-  for (auto& shard : shards_) {
-    ShardSnapshot p;
-    {
-      std::lock_guard lock(shard->stats_mutex);
-      p = shard->published;
-    }
-    io::write_i64(os, shard->enqueued.load(std::memory_order_relaxed));
-    io::write_i64(os,
-                  shard->admission_rejects.load(std::memory_order_relaxed));
-    io::write_i64(os, shard->queue_rejects.load(std::memory_order_relaxed));
-    io::write_i64(os, shard->full_waits.load(std::memory_order_relaxed));
-    io::write_i64(os, shard->late_rejects.load(std::memory_order_relaxed));
-    io::write_i64(os, p.processed);
-    io::write_i64(os, p.batches);
-    io::write_i64(os, p.op_errors);
-    io::write_i64(os, p.arrivals);
-    io::write_i64(os, p.accepted);
-    io::write_i64(os, p.rejected);
-    io::write_f64(os, p.decision_energy);
-    io::write_i64(os, p.closed_streams);
-    io::write_f64(os, p.closed_energy);
-    io::save_counters(os, p.counters);
-    shard->sessions.checkpoint(os);
-  }
 }
 
-void StreamEngine::restore(std::istream& is) {
-  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
-              "engine already finished");
-  for (auto& shard : shards_) {
-    PSS_REQUIRE(shard->enqueued.load(std::memory_order_relaxed) == 0,
-                "restore target engine must be fresh");
-  }
-  PSS_REQUIRE(io::read_u64(is) == kCheckpointMagic,
-              "not a PSS checkpoint (bad magic)");
+void StreamEngine::check_config(std::istream& is) const {
   PSS_REQUIRE(io::read_u64(is) == options_.num_shards,
               "checkpoint shard count mismatch");
   PSS_REQUIRE(io::read_i64(is) == options_.machine.num_processors &&
@@ -308,44 +307,152 @@ void StreamEngine::restore(std::istream& is) {
                   (io::read_u8(is) != 0) == options_.scheduler.lazy &&
                   (io::read_u8(is) != 0) == options_.record_decisions,
               "checkpoint mode flags mismatch");
-  for (auto& shard : shards_) {
-    const long long enqueued = io::read_i64(is);
-    shard->admission_rejects.store(io::read_i64(is),
-                                   std::memory_order_relaxed);
-    shard->queue_rejects.store(io::read_i64(is), std::memory_order_relaxed);
-    shard->full_waits.store(io::read_i64(is), std::memory_order_relaxed);
-    shard->late_rejects.store(io::read_i64(is), std::memory_order_relaxed);
-    ShardSnapshot p;
-    p.processed = io::read_i64(is);
-    p.batches = io::read_i64(is);
-    p.op_errors = io::read_i64(is);
-    p.arrivals = io::read_i64(is);
-    p.accepted = io::read_i64(is);
-    p.rejected = io::read_i64(is);
-    p.decision_energy = io::read_f64(is);
-    p.closed_streams = io::read_i64(is);
-    p.closed_energy = io::read_f64(is);
-    io::load_counters(is, p.counters);
-    // The worker only touches its session table when a ring hands it an
-    // op; this engine has accepted no traffic, so the table is ours to
-    // fill. The ring's release/acquire pair on the next enqueue publishes
-    // these writes to the worker. (The restoring table re-applies its own
-    // residency budget, so a spill-less checkpoint restores into a
-    // budgeted engine and vice versa.)
-    shard->sessions.restore(is);
-    p.open_streams = shard->sessions.num_open();
-    p.resident_sessions = shard->sessions.num_resident();
-    p.spilled_sessions = shard->sessions.num_spilled();
-    p.session_spills = shard->sessions.num_spills();
-    p.session_restores = shard->sessions.num_spill_restores();
-    {
-      std::lock_guard lock(shard->stats_mutex);
-      shard->published = p;
-    }
-    // drain() waits for processed >= enqueued; the restored tallies must
-    // keep that invariant (they were drained-equal at checkpoint time).
-    shard->enqueued.store(enqueued, std::memory_order_relaxed);
+}
+
+void StreamEngine::write_shard_state(std::ostream& os, Shard& shard) const {
+  ShardSnapshot p;
+  {
+    std::lock_guard lock(shard.stats_mutex);
+    p = shard.published;
   }
+  io::write_i64(os, shard.enqueued.load(std::memory_order_relaxed));
+  io::write_i64(os, shard.admission_rejects.load(std::memory_order_relaxed));
+  io::write_i64(os, shard.queue_rejects.load(std::memory_order_relaxed));
+  io::write_i64(os, shard.full_waits.load(std::memory_order_relaxed));
+  io::write_i64(os, shard.late_rejects.load(std::memory_order_relaxed));
+  io::write_i64(os, p.processed);
+  io::write_i64(os, p.batches);
+  io::write_i64(os, p.op_errors);
+  io::write_i64(os, p.arrivals);
+  io::write_i64(os, p.accepted);
+  io::write_i64(os, p.rejected);
+  io::write_f64(os, p.decision_energy);
+  io::write_i64(os, p.closed_streams);
+  io::write_f64(os, p.closed_energy);
+  io::save_counters(os, p.counters);
+  shard.sessions.checkpoint(os);
+}
+
+void StreamEngine::read_shard_state(std::istream& is, Shard& shard) {
+  const long long enqueued = io::read_i64(is);
+  shard.admission_rejects.store(io::read_i64(is), std::memory_order_relaxed);
+  shard.queue_rejects.store(io::read_i64(is), std::memory_order_relaxed);
+  shard.full_waits.store(io::read_i64(is), std::memory_order_relaxed);
+  shard.late_rejects.store(io::read_i64(is), std::memory_order_relaxed);
+  ShardSnapshot p;
+  p.processed = io::read_i64(is);
+  p.batches = io::read_i64(is);
+  p.op_errors = io::read_i64(is);
+  p.arrivals = io::read_i64(is);
+  p.accepted = io::read_i64(is);
+  p.rejected = io::read_i64(is);
+  p.decision_energy = io::read_f64(is);
+  p.closed_streams = io::read_i64(is);
+  p.closed_energy = io::read_f64(is);
+  io::load_counters(is, p.counters);
+  // The worker only touches its session table when a ring hands it an
+  // op; this shard has accepted no traffic, so the table is ours to
+  // fill. The ring's release/acquire pair on the next enqueue publishes
+  // these writes to the worker. (The restoring table re-applies its own
+  // residency budget, so a spill-less checkpoint restores into a
+  // budgeted engine and vice versa.)
+  shard.sessions.restore(is);
+  p.open_streams = shard.sessions.num_open();
+  p.resident_sessions = shard.sessions.num_resident();
+  p.spilled_sessions = shard.sessions.num_spilled();
+  p.session_spills = shard.sessions.num_spills();
+  p.session_restores = shard.sessions.num_spill_restores();
+  p.spill_errors = shard.sessions.num_spill_errors();
+  p.spill_retries = shard.sessions.num_spill_retries();
+  {
+    std::lock_guard lock(shard.stats_mutex);
+    shard.published = p;
+  }
+  // drain() waits for processed >= enqueued; the restored tallies must
+  // keep that invariant (they were drained-equal at checkpoint time).
+  shard.enqueued.store(enqueued, std::memory_order_relaxed);
+}
+
+void StreamEngine::checkpoint(std::ostream& os, std::uint64_t wal_mark) {
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
+  PSS_REQUIRE(quiesce_producers(),
+              "extra producers still registered after the quiesce timeout");
+  for (auto& shard : shards_)
+    PSS_REQUIRE(!shard->quarantined.load(std::memory_order_acquire),
+                "cannot checkpoint a quarantined shard (checkpoint_shard "
+                "the healthy ones)");
+  // After drain() every worker has applied all ops it will ever see until
+  // the next enqueue, and a worker facing empty rings never touches its
+  // session table — so the tables are quiescent for the reads below. The
+  // stats-mutex handshake inside drain() ordered the workers' session
+  // writes before them. (No extra producers exist — just checked — so the
+  // owner thread is the only possible enqueuer, and it is here.)
+  drain();
+  io::write_u64(os, kCheckpointMagic);
+  io::write_u64(os, wal_mark);
+  write_config(os);
+  for (auto& shard : shards_) write_shard_state(os, *shard);
+}
+
+std::uint64_t StreamEngine::restore(std::istream& is) {
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
+  for (auto& shard : shards_) {
+    PSS_REQUIRE(shard->enqueued.load(std::memory_order_relaxed) == 0,
+                "restore target engine must be fresh");
+  }
+  PSS_REQUIRE(io::read_u64(is) == kCheckpointMagic,
+              "not a PSS checkpoint (bad magic)");
+  const std::uint64_t wal_mark = io::read_u64(is);
+  check_config(is);
+  for (auto& shard : shards_) read_shard_state(is, *shard);
+  return wal_mark;
+}
+
+void StreamEngine::checkpoint_shard(std::size_t shard_index, std::ostream& os,
+                                    std::uint64_t wal_mark) {
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
+  PSS_REQUIRE(shard_index < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[shard_index];
+  PSS_REQUIRE(!shard.quarantined.load(std::memory_order_acquire),
+              "cannot checkpoint a quarantined shard");
+  PSS_REQUIRE(quiesce_producers(),
+              "extra producers still registered after the quiesce timeout");
+  PSS_REQUIRE(!paused_.load(std::memory_order_relaxed),
+              "draining a paused engine would deadlock");
+  drain_shard(shard);
+  io::write_u64(os, kShardMagic);
+  io::write_u64(os, wal_mark);
+  io::write_u64(os, shard_index);
+  write_config(os);
+  write_shard_state(os, shard);
+}
+
+std::uint64_t StreamEngine::restore_shard(std::size_t shard_index,
+                                          std::istream& is) {
+  PSS_REQUIRE(!finished_.load(std::memory_order_acquire),
+              "engine already finished");
+  PSS_REQUIRE(shard_index < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[shard_index];
+  PSS_REQUIRE(shard.enqueued.load(std::memory_order_relaxed) == 0,
+              "restore target shard must be fresh");
+  PSS_REQUIRE(io::read_u64(is) == kShardMagic,
+              "not a PSS shard checkpoint (bad magic)");
+  const std::uint64_t wal_mark = io::read_u64(is);
+  PSS_REQUIRE(io::read_u64(is) == shard_index,
+              "shard checkpoint for a different shard");
+  check_config(is);
+  read_shard_state(is, shard);
+  return wal_mark;
+}
+
+std::size_t StreamEngine::num_quarantined_shards() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_)
+    if (shard->quarantined.load(std::memory_order_acquire)) ++n;
+  return n;
 }
 
 std::vector<StreamResult> StreamEngine::finish() {
@@ -386,6 +493,8 @@ EngineSnapshot StreamEngine::snapshot() const {
     s.queue_rejects = shard->queue_rejects.load(std::memory_order_relaxed);
     s.full_waits = shard->full_waits.load(std::memory_order_relaxed);
     s.late_rejects = shard->late_rejects.load(std::memory_order_relaxed);
+    s.quarantined_rejects =
+        shard->quarantined_rejects.load(std::memory_order_relaxed);
     // A late reject IS a contained op error — misuse of the shutdown
     // contract, surfaced in the same ledger clients already watch.
     s.op_errors += s.late_rejects;
@@ -403,12 +512,21 @@ EngineSnapshot StreamEngine::snapshot() const {
     snap.spilled_sessions += s.spilled_sessions;
     snap.session_spills += s.session_spills;
     snap.session_restores += s.session_restores;
+    snap.spill_errors += s.spill_errors;
+    snap.spill_retries += s.spill_retries;
     snap.closed_streams += s.closed_streams;
+    if (s.degraded) {
+      ++snap.degraded_shards;
+      snap.degraded_sessions += s.degraded_sessions;
+    }
+    snap.quarantined_rejects += s.quarantined_rejects;
     snap.decision_energy += s.decision_energy;
     snap.closed_energy += s.closed_energy;
     snap.counters += s.counters;
     snap.shards.push_back(std::move(s));
   }
+  snap.checkpoint_refusals =
+      checkpoint_refusals_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -416,6 +534,9 @@ void StreamEngine::worker_loop(Shard& shard) {
   std::vector<ShardOp> batch;
   batch.reserve(options_.drain_batch);
   const std::size_t num_queues = shard.queues.size();
+  // Per-shard fault site: drills can kill shard 2's worker specifically
+  // and watch shards 0,1,3.. keep serving.
+  const std::string fault_site = "shard.worker." + std::to_string(shard.index);
   // Combining drain: sweep all producer rings into one batch, starting at a
   // rotating ring so no producer slot is structurally favored.
   std::size_t next_queue = 0;
@@ -463,46 +584,69 @@ void StreamEngine::worker_loop(Shard& shard) {
     long long closed = 0, op_errors = 0;
     double decision_energy = 0.0, closed_energy = 0.0;
     core::PdCounters closed_counters;
-    for (ShardOp& op : batch) {
-      // A precondition violation (a client feeding a malformed job or
-      // breaking release order) poisons that op only: the engine counts
-      // it and keeps serving every other stream.
-      try {
-        switch (op.kind) {
-          case ShardOp::Kind::kOpen:
-            shard.sessions.open(op.stream);
-            break;
-          case ShardOp::Kind::kArrival: {
-            const core::ArrivalDecision decision =
-                shard.sessions.feed(op.stream, op.job);
-            ++arrivals;
-            if (decision.accepted) {
-              ++accepted;
-              decision_energy += decision.planned_energy;
-            } else {
-              ++rejected;
+    try {
+      for (ShardOp& op : batch) {
+        // A precondition violation (a client feeding a malformed job or
+        // breaking release order) poisons that op only: the engine counts
+        // it and keeps serving every other stream.
+        try {
+          // Inside the per-op containment on purpose: an injected *error*
+          // (std::exception) is shed like any recoverable op failure; an
+          // injected *crash* (not a std::exception) escapes to the
+          // quarantine handler below, like a real worker death would.
+          PSS_FAULT_POINT(fault_site.c_str());
+          switch (op.kind) {
+            case ShardOp::Kind::kOpen:
+              shard.sessions.open(op.stream);
+              break;
+            case ShardOp::Kind::kArrival: {
+              const core::ArrivalDecision decision =
+                  shard.sessions.feed(op.stream, op.job);
+              ++arrivals;
+              if (decision.accepted) {
+                ++accepted;
+                decision_energy += decision.planned_energy;
+              } else {
+                ++rejected;
+              }
+              break;
             }
-            break;
-          }
-          case ShardOp::Kind::kAdvance:
-            // The table contains malformed advances itself (returns false
-            // instead of throwing), so a bad clock never reaches the
-            // batch-level catch — but it still counts as an op error.
-            if (!shard.sessions.advance(op.stream, op.time)) ++op_errors;
-            break;
-          case ShardOp::Kind::kClose: {
-            const StreamResult* result = shard.sessions.close(op.stream);
-            if (result != nullptr) {
-              ++closed;
-              closed_energy += result->planned_energy;
-              closed_counters += result->counters;
+            case ShardOp::Kind::kAdvance:
+              // The table contains malformed advances itself (returns
+              // false instead of throwing), so a bad clock never reaches
+              // the batch-level catch — but it still counts as an op error.
+              if (!shard.sessions.advance(op.stream, op.time)) ++op_errors;
+              break;
+            case ShardOp::Kind::kClose: {
+              const StreamResult* result = shard.sessions.close(op.stream);
+              if (result != nullptr) {
+                ++closed;
+                closed_energy += result->planned_energy;
+                closed_counters += result->counters;
+              }
+              break;
             }
-            break;
           }
+        } catch (const std::exception&) {
+          ++op_errors;
         }
-      } catch (const std::exception&) {
-        ++op_errors;
       }
+    } catch (...) {
+      // Anything beyond a std::exception is a worker death, not an op
+      // failure: quarantine the shard. The flag flips before the notify,
+      // so blocked producers and drain() waiters observe it and escape;
+      // enqueue refuses new traffic from here on. Sessions stay intact in
+      // the (now worker-less) table for finish() to report and for
+      // degraded accounting — recovery rebuilds the shard from its last
+      // checkpoint + WAL tail in a fresh engine.
+      shard.quarantined.store(true, std::memory_order_seq_cst);
+      {
+        std::lock_guard lock(shard.stats_mutex);
+        shard.published.degraded = true;
+        shard.published.degraded_sessions = shard.sessions.num_open();
+      }
+      shard.drained_cv.notify_all();
+      return;
     }
 
     // One stats lock per batch — the amortization the ring exists for.
@@ -524,6 +668,8 @@ void StreamEngine::worker_loop(Shard& shard) {
       p.spilled_sessions = shard.sessions.num_spilled();
       p.session_spills = shard.sessions.num_spills();
       p.session_restores = shard.sessions.num_spill_restores();
+      p.spill_errors = shard.sessions.num_spill_errors();
+      p.spill_retries = shard.sessions.num_spill_retries();
     }
     shard.drained_cv.notify_all();  // drain() waiters and blocked producers
   }

@@ -37,7 +37,17 @@
 // the shutdown gets its op refused-and-counted (`late_rejects`, surfaced in
 // snapshot op_errors) instead of racing a dying ring. Producer handles must
 // be released before checkpoint() (the drain only quiesces what the owner
-// thread can see) — enforced with std::invalid_argument, not UB.
+// thread can see) — enforced with a bounded quiesce wait and then a
+// counted std::invalid_argument refusal, not UB.
+//
+// Failure model: a non-recoverable fault inside a shard worker (anything
+// that escapes the per-op std::exception containment — an injected kill in
+// a drill, a real corruption in production) quarantines THAT shard: the
+// worker publishes a degraded snapshot (stranded session count) and exits;
+// enqueue refuses the shard's traffic with a counted quarantined_reject;
+// drain() and finish() do not block on it. The other shards keep serving.
+// Per-shard checkpoints (checkpoint_shard / restore_shard) plus the WAL
+// (stream/recovery) rebuild the lost shard without touching healthy ones.
 //
 // Threading contract: engine-level open/feed/advance/close_stream/drain/
 // checkpoint/restore/finish are owner-thread calls (slot 0); each Producer
@@ -92,6 +102,10 @@ struct EngineOptions {
   bool start_paused = false;
   /// Shed-before-enqueue admission policy for arrivals (default: none).
   ingest::AdmissionOptions admission{};
+  /// How long checkpoint() waits for extra producer handles to be released
+  /// before refusing (counted in EngineSnapshot::checkpoint_refusals). A
+  /// serving loop can then retry at the next cadence instead of crashing.
+  long long quiesce_timeout_ms = 200;
   /// Per-shard session residency budget; max_resident == 0 disables
   /// spilling. A non-empty directory gets a per-shard subdirectory.
   ingest::SpillOptions spill{};
@@ -123,9 +137,17 @@ struct ShardSnapshot {
   std::size_t spilled_sessions = 0;
   long long session_spills = 0;    // evictions to the spill store, ever
   long long session_restores = 0;  // spill-store restores, ever
+  long long spill_errors = 0;      // spill IO failures past all retries
+  long long spill_retries = 0;     // spill IO attempts retried (backoff)
   long long closed_streams = 0;
   double closed_energy = 0.0;           // exact, closed sessions
   core::PdCounters counters;            // aggregated over closed sessions
+  // Degradation: a quarantined shard stopped serving (its worker died on a
+  // non-recoverable fault); its sessions are reported here so an operator
+  // can size the blast radius. Other shards keep serving.
+  bool degraded = false;
+  std::size_t degraded_sessions = 0;   // sessions stranded in the shard
+  long long quarantined_rejects = 0;   // ops refused because of quarantine
 };
 
 /// Aggregated engine state, assembled shard by shard without stopping the
@@ -145,7 +167,13 @@ struct EngineSnapshot {
   std::size_t spilled_sessions = 0;
   long long session_spills = 0;
   long long session_restores = 0;
+  long long spill_errors = 0;
+  long long spill_retries = 0;
   long long closed_streams = 0;
+  std::size_t degraded_shards = 0;
+  std::size_t degraded_sessions = 0;
+  long long quarantined_rejects = 0;
+  long long checkpoint_refusals = 0;  // quiesce timeouts, see checkpoint()
   double decision_energy = 0.0;
   double closed_energy = 0.0;
   core::PdCounters counters;
@@ -225,9 +253,16 @@ class StreamEngine {
   /// open sessions (spilled blobs included, byte-identical to a spill-free
   /// run), pending results, published tallies — as one binary image
   /// (src/io/state_io.hpp wire format). The engine keeps serving
-  /// afterwards. Owner-thread call; every extra Producer must be released
-  /// first (checked) — the drain can only quiesce rings no one is filling.
-  void checkpoint(std::ostream& os);
+  /// afterwards. Owner-thread call. Extra Producer handles get a bounded
+  /// grace period (EngineOptions::quiesce_timeout_ms) to be released; if
+  /// any survive it, the checkpoint is *refused* (std::invalid_argument,
+  /// counted in checkpoint_refusals) — the drain can only quiesce rings no
+  /// one is filling. Refused with the same error if any shard is
+  /// quarantined (checkpoint_shard the healthy ones instead).
+  ///
+  /// `wal_mark` stamps the image with the op-log checkpoint-mark count it
+  /// corresponds to (see stream/recovery); 0 = no WAL.
+  void checkpoint(std::ostream& os, std::uint64_t wal_mark = 0);
 
   /// Restores a checkpoint() image into this engine, which must be freshly
   /// constructed (no traffic yet) with the same shard count, machine and
@@ -236,7 +271,25 @@ class StreamEngine {
   /// knobs, not state — they may differ. A restored engine's subsequent
   /// decisions and energies are bitwise identical to the uninterrupted
   /// run's; certification counters may differ (caches restart cold).
-  void restore(std::istream& is);
+  /// Returns the image's wal_mark stamp.
+  std::uint64_t restore(std::istream& is);
+
+  /// Serializes ONE healthy shard — same quiesce/drain contract as
+  /// checkpoint(), but scoped to the shard, so a deployment can keep
+  /// per-shard images and restore shards independently (partial-shard
+  /// failover; a quarantined shard is the one thing it refuses to save).
+  void checkpoint_shard(std::size_t shard_index, std::ostream& os,
+                        std::uint64_t wal_mark = 0);
+
+  /// Restores a checkpoint_shard() image into shard `shard_index` of this
+  /// engine (fresh, same compatibility contract as restore()). Shards may
+  /// be restored from *different* generations — streams are pinned to
+  /// shards, so recovery replays each shard from its own wal_mark (see
+  /// stream/recovery). Returns the image's wal_mark stamp.
+  std::uint64_t restore_shard(std::size_t shard_index, std::istream& is);
+
+  /// Shards currently quarantined (worker died; sessions stranded).
+  [[nodiscard]] std::size_t num_quarantined_shards() const;
 
   /// Stops accepting ops (late enqueues from laggard producers are refused
   /// and counted, not raced), drains, stops the workers, and returns every
@@ -258,7 +311,8 @@ class StreamEngine {
 
   struct Shard {
     Shard(const EngineOptions& options, std::size_t index)
-        : sessions(options.machine, options.scheduler,
+        : index(index),
+          sessions(options.machine, options.scheduler,
                    options.record_decisions, shard_spill(options, index)) {
       queues.reserve(options.max_producers);
       for (std::size_t p = 0; p < options.max_producers; ++p)
@@ -287,6 +341,7 @@ class StreamEngine {
 
     /// One SPSC ring per producer slot; MPSC by composition.
     std::vector<std::unique_ptr<SpscQueue<ShardOp>>> queues;
+    std::size_t index = 0;  // which shard this is (fault site naming)
     SessionTable sessions;  // worker-owned after start
     std::thread worker;
 
@@ -296,6 +351,13 @@ class StreamEngine {
     std::atomic<long long> queue_rejects{0};
     std::atomic<long long> full_waits{0};
     std::atomic<long long> late_rejects{0};
+
+    // Quarantine: flipped (once) by the worker when a non-recoverable
+    // fault escapes the per-op containment; the worker then exits and the
+    // shard refuses traffic (quarantined_rejects) while the rest of the
+    // engine keeps serving.
+    std::atomic<bool> quarantined{false};
+    std::atomic<long long> quarantined_rejects{0};
 
     // Sleep/wake handshake (see worker_loop for the fence protocol).
     std::atomic<bool> sleeping{false};
@@ -314,6 +376,17 @@ class StreamEngine {
   void worker_loop(Shard& shard);
   void stop();
 
+  /// Waits up to quiesce_timeout_ms for extra producers to release; on
+  /// timeout counts a refusal and returns false.
+  bool quiesce_producers();
+  void drain_shard(Shard& shard);
+  /// Shared config block of the checkpoint formats (shard count, machine,
+  /// scheduler mode flags) — what restore compatibility is checked against.
+  void write_config(std::ostream& os) const;
+  void check_config(std::istream& is) const;
+  void write_shard_state(std::ostream& os, Shard& shard) const;
+  void read_shard_state(std::istream& is, Shard& shard);
+
   EngineOptions options_;
   StreamRouter router_;
   ingest::AdmissionGate admission_;
@@ -327,6 +400,7 @@ class StreamEngine {
   // can slip into a ring after the final drain target is read.
   std::atomic<bool> accepting_{true};
   std::atomic<long long> in_flight_{0};
+  std::atomic<long long> checkpoint_refusals_{0};
 
   // Producer-slot registry (slot 0 is the owner thread, permanently taken).
   mutable std::mutex producer_mutex_;

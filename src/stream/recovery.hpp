@@ -1,0 +1,119 @@
+// WAL-style crash recovery: checkpoint cadence + op-log tail replay.
+//
+// The serving stack writes two artifacts with one contract between them:
+//
+//   * the op log (src/ingest/op_log) is the write-ahead log — every op is
+//     appended (and, under drills, flushed) BEFORE it is fed to the engine;
+//   * checkpoints (src/io/checkpoint_dir) are cut by the
+//     CheckpointCoordinator, which appends a kCheckpointMark frame to the
+//     WAL, drains the engine, and publishes one part per shard stamped
+//     with the mark COUNT at the cut (wal_mark = M means "this image
+//     contains every op that precedes the M-th mark frame").
+//
+// Recovery (recover_engine) inverts that: load the newest VALID part of
+// each shard independently — a torn or checksum-bad part falls back to an
+// older generation of that shard only — then replay the WAL, counting mark
+// frames and applying an op iff marks_seen >= wal_mark of its stream's
+// shard. Streams are pinned to shards by the router, so shards restored
+// from *different* generations just replay tails of different lengths; the
+// recovered engine is bitwise identical (decisions, energies) to one that
+// never crashed. A torn final WAL frame (the crash was mid-append) ends
+// the replay cleanly; the op it tore was never fed anywhere.
+//
+// Crash windows, and why each is safe:
+//   mid-append            -> torn WAL tail, op never fed: dropped cleanly.
+//   after mark, mid-part  -> torn part skipped; shard falls back a
+//                            generation and replays a longer tail. The
+//                            extra mark frame replays as a no-op.
+//   after parts, no       -> manifest is advisory; load_part scans the
+//   manifest commit          directory, so the new generation is found.
+//
+// Thread contract: coordinator and recovery are owner-thread constructs
+// (they drain and restore, same as checkpoint()/restore()).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "io/checkpoint_dir.hpp"
+
+namespace pss::ingest {
+class OpLogWriter;
+}
+
+namespace pss::stream {
+
+class StreamEngine;
+
+struct WalCheckpointOptions {
+  /// Checkpoint generations kept on disk after a successful commit (the
+  /// newest plus keep_generations - 1 fallbacks).
+  std::uint64_t keep_generations = 2;
+};
+
+/// Cuts crash-consistent checkpoints of a serving engine against its WAL.
+/// The caller owns both: the engine must have been fed exactly the ops
+/// appended to `wal` so far (log-then-feed), and `wal_stream` must be the
+/// stream `wal` writes through (flushed here so the mark is durable before
+/// any part is).
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(StreamEngine& engine, ingest::OpLogWriter& wal,
+                        std::ostream& wal_stream, io::CheckpointDir& dir,
+                        WalCheckpointOptions options = {},
+                        std::uint64_t initial_marks = 0);
+
+  /// Appends a checkpoint mark to the WAL, drains the engine, publishes
+  /// one part per shard under a fresh generation, commits the manifest and
+  /// prunes old generations. Returns the generation written. Refuses (by
+  /// propagation) whenever checkpoint_shard would: quiesce timeout,
+  /// quarantined shard.
+  std::uint64_t checkpoint();
+
+  /// Mark frames this coordinator believes are in the WAL.
+  [[nodiscard]] std::uint64_t marks_written() const { return marks_; }
+
+ private:
+  StreamEngine& engine_;
+  ingest::OpLogWriter& wal_;
+  std::ostream& wal_stream_;
+  io::CheckpointDir& dir_;
+  WalCheckpointOptions options_;
+  std::uint64_t marks_;
+};
+
+/// What recover_engine did, for operators and drills.
+struct RecoveryReport {
+  /// Newest generation any shard restored from (0 = all cold).
+  std::uint64_t generation = 0;
+  /// Per shard: the generation its part came from (0 = cold start) and the
+  /// wal_mark it resumes replay from.
+  std::vector<std::uint64_t> shard_generations;
+  std::vector<std::uint64_t> shard_marks;
+  std::size_t shards_cold = 0;     // shards with no valid part on disk
+  long long frames_seen = 0;       // WAL frames decoded
+  long long frames_replayed = 0;   // ops applied to the engine
+  long long frames_skipped = 0;    // ops already inside a shard's image
+  long long arrival_sheds = 0;     // arrivals refused during replay
+  long long marks_seen = 0;        // checkpoint marks in the WAL
+  long long torn_parts = 0;        // checkpoint candidates skipped: torn
+  long long crc_bad_parts = 0;     // checkpoint candidates skipped: CRC
+  bool wal_tail_truncated = false; // WAL ended in a torn frame (expected)
+};
+
+/// Restores `engine` (freshly constructed, compatible options) from the
+/// newest valid per-shard checkpoints in `dir` plus the WAL tail on
+/// `wal_stream`, then drains. Missing/unusable parts cold-start their
+/// shard (full replay for its streams); corruption mid-WAL (not a torn
+/// tail) still throws std::invalid_argument.
+///
+/// Spill directories are scratch, not durable state: checkpoint images
+/// carry spilled sessions' blobs, so a failover engine must be configured
+/// with a fresh (or cleared) spill directory — restore refuses a session
+/// table that adopted a dead process's leftover spill files.
+RecoveryReport recover_engine(StreamEngine& engine,
+                              const io::CheckpointDir& dir,
+                              std::istream& wal_stream);
+
+}  // namespace pss::stream

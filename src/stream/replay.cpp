@@ -39,6 +39,7 @@ ReplayStats replay_op_log(std::istream& is, StreamEngine& engine) {
         break;
     }
   }
+  stats.tail_truncated = reader.tail_truncated();
   return stats;
 }
 

@@ -30,11 +30,14 @@ struct ReplayStats {
   long long applied = 0;       // ops the engine accepted into a ring
   long long arrival_sheds = 0; // arrivals refused (admission/backpressure)
   long long marks = 0;         // checkpoint marks seen (skipped)
+  bool tail_truncated = false; // log ended in a torn final frame (crash)
 };
 
 /// Replays the op log on `is` into `engine` (which keeps serving; callers
-/// drain/finish as usual). Throws std::invalid_argument on a malformed
-/// log, after the well-formed prefix has been applied.
+/// drain/finish as usual). A torn final frame (crash mid-append) ends the
+/// replay cleanly with tail_truncated set; a malformed *complete* frame
+/// still throws std::invalid_argument, after the well-formed prefix has
+/// been applied.
 ReplayStats replay_op_log(std::istream& is, StreamEngine& engine);
 
 }  // namespace pss::stream

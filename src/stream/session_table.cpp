@@ -28,7 +28,16 @@ void SessionTable::evict_to_budget() {
     PSS_CHECK(it != open_.end(), "lru/table desync");
     std::ostringstream blob;
     io::save_scheduler(blob, *it->second.scheduler);
-    store_->put(victim, std::move(blob).str());
+    try {
+      store_->put(victim, std::move(blob).str());
+    } catch (const std::exception&) {
+      // Retries are already spent (the store backs off internally). Failing
+      // to spill must not lose the session: keep it resident — over budget
+      // but correct — and try again on the next eviction pressure.
+      // (util::InjectedCrash is not a std::exception and propagates.)
+      ++spill_errors_;
+      return;
+    }
     ++spills_;
     it->second.scheduler->reset();
     free_.push_back(std::move(it->second.scheduler));
@@ -47,7 +56,18 @@ core::PdScheduler& SessionTable::session(StreamId id) {
   }
   std::unique_ptr<core::PdScheduler> scheduler = recycled_scheduler();
   std::string blob;
-  if (store_ && store_->take(id, blob)) {
+  bool restored = false;
+  try {
+    restored = store_ && store_->take(id, blob);
+  } catch (const std::exception&) {
+    // Restore failure is NOT containable here: serving this stream from a
+    // fresh scheduler would silently fork its history. Count it and let
+    // the caller's per-op containment shed the op instead.
+    ++spill_errors_;
+    free_.push_back(std::move(scheduler));
+    throw;
+  }
+  if (restored) {
     std::istringstream in(std::move(blob));
     io::load_scheduler(in, *scheduler);
     ++spill_restores_;

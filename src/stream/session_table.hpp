@@ -100,6 +100,14 @@ class SessionTable {
   [[nodiscard]] long long num_spill_restores() const {
     return spill_restores_;
   }
+  /// Spill IO failures that exhausted the store's retries. An eviction
+  /// failure keeps the session resident (over budget but serving); a
+  /// restore failure propagates to the caller's per-op containment.
+  [[nodiscard]] long long num_spill_errors() const { return spill_errors_; }
+  /// Failed-then-retried spill IO attempts (the store's backoff loop).
+  [[nodiscard]] long long num_spill_retries() const {
+    return store_ ? store_->io_retries() : 0;
+  }
 
   [[nodiscard]] const std::deque<StreamResult>& completed() const {
     return completed_;
@@ -143,6 +151,7 @@ class SessionTable {
   long long num_closed_ = 0;
   long long spills_ = 0;
   long long spill_restores_ = 0;
+  long long spill_errors_ = 0;
 };
 
 }  // namespace pss::stream

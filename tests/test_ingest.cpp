@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -186,16 +187,32 @@ TEST(OpLog, RejectsOversizedLengthField) {
   EXPECT_THROW(reader.next(op), std::invalid_argument);
 }
 
-TEST(OpLog, RejectsTruncatedFrame) {
+TEST(OpLog, TruncatedTailIsCleanEndOfLog) {
   const std::string bytes = valid_log_bytes();
-  // Chop mid-body and mid-trailer; both must throw, not hang or misparse.
+  // Chop mid-length, mid-body and mid-trailer: every byte-prefix of a
+  // valid log is what a crash mid-append leaves behind. The reader ends
+  // the log cleanly at the tear (tail_truncated set) instead of throwing —
+  // the torn op was never fed anywhere, so recovery drops it by design.
   for (const std::size_t keep : {bytes.size() - 4, bytes.size() - 12,
-                                 std::size_t(8 + 1 + 8 + 3)}) {
+                                 std::size_t(8 + 1 + 8 + 3),
+                                 std::size_t(8 + 1 + 2)}) {
     std::istringstream is(bytes.substr(0, keep), std::ios::binary);
     ingest::OpLogReader reader(is);
     ingest::IngestOp op;
-    EXPECT_THROW(reader.next(op), std::invalid_argument);
+    EXPECT_NO_THROW({
+      while (reader.next(op)) {
+      }
+    }) << "keep=" << keep;
+    EXPECT_TRUE(reader.tail_truncated()) << "keep=" << keep;
+    EXPECT_EQ(reader.frames_read(), 0) << "keep=" << keep;
   }
+  // The intact log reads to EOF without the flag.
+  std::istringstream is(bytes, std::ios::binary);
+  ingest::OpLogReader reader(is);
+  ingest::IngestOp op;
+  EXPECT_TRUE(reader.next(op));
+  EXPECT_FALSE(reader.next(op));
+  EXPECT_FALSE(reader.tail_truncated());
 }
 
 TEST(OpLog, RejectsCorruptedBodyViaChecksum) {
@@ -736,9 +753,10 @@ TEST(StreamEngine, SingleProducerEngineHasNoExtraSlots) {
   EXPECT_THROW(engine.producer(), std::invalid_argument);
 }
 
-TEST(StreamEngine, CheckpointRequiresProducersReleased) {
+TEST(StreamEngine, CheckpointRefusesWhenProducersOutliveQuiesce) {
   stream::EngineOptions options = engine_options(1);
   options.max_producers = 2;
+  options.quiesce_timeout_ms = 1;  // a held handle must fail fast here
   stream::StreamEngine engine(options);
   model::Job job;
   job.id = 0;
@@ -749,11 +767,38 @@ TEST(StreamEngine, CheckpointRequiresProducersReleased) {
     stream::StreamEngine::Producer p = engine.producer();
     EXPECT_TRUE(p.feed(5, job));
     std::ostringstream os(std::ios::binary);
+    // The handle outlives the quiesce window: refused and counted, so a
+    // serving loop can retry at its next cadence instead of crashing.
     EXPECT_THROW(engine.checkpoint(os), std::invalid_argument);
+    EXPECT_EQ(engine.snapshot().checkpoint_refusals, 1);
   }
   std::ostringstream os(std::ios::binary);
   engine.checkpoint(os);  // fine once the handle is gone
   EXPECT_GT(os.str().size(), 0u);
+  EXPECT_EQ(engine.snapshot().checkpoint_refusals, 1);
+}
+
+TEST(StreamEngine, CheckpointWaitsOutAProducerReleasedConcurrently) {
+  stream::EngineOptions options = engine_options(1);
+  options.max_producers = 2;
+  options.quiesce_timeout_ms = 5000;  // far beyond the release below
+  stream::StreamEngine engine(options);
+  model::Job job;
+  job.id = 0;
+  job.release = 1.0;
+  job.deadline = 4.0;
+  job.work = 1.0;
+  stream::StreamEngine::Producer p = engine.producer();
+  EXPECT_TRUE(p.feed(5, job));
+  std::thread releaser([&p] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    p.release();
+  });
+  std::ostringstream os(std::ios::binary);
+  engine.checkpoint(os);  // quiesce-wait bridges the handle's wind-down
+  releaser.join();
+  EXPECT_GT(os.str().size(), 0u);
+  EXPECT_EQ(engine.snapshot().checkpoint_refusals, 0);
 }
 
 TEST(StreamEngine, ProducerFeedsMergeWithOwnerFeeds) {
