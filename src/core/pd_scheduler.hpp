@@ -26,6 +26,7 @@
 
 #include "core/curve_cache.hpp"
 #include "core/online_state.hpp"
+#include "core/policy_tuner.hpp"
 #include "model/instance.hpp"
 #include "model/schedule.hpp"
 #include "model/time_partition.hpp"
@@ -93,6 +94,16 @@ struct PdOptions {
   /// arrival forever, so indefinitely-running serving layers turn it off —
   /// it is the one piece of state horizon compaction cannot bound.
   bool record_decisions = true;
+  /// Adaptive backend selection: the session starts on the cheap
+  /// contiguous/unscreened backend regardless of the flags above and a
+  /// PolicyTuner flips it (up to the configured cube position) through
+  /// live migration once the observed workload warrants the heavier
+  /// machinery — see core/policy_tuner.hpp. Every flip preserves bitwise
+  /// decisions (tests/test_policy_tuner.cpp), so `adaptive` changes only
+  /// per-arrival cost, never an outcome.
+  bool adaptive = false;
+  /// Thresholds/hysteresis of that tuner (ignored unless adaptive).
+  TunerOptions tuner = {};
 };
 
 /// Lightweight instrumentation, filled as arrivals are processed.
@@ -113,33 +124,79 @@ struct PdCounters {
   long long compacted_intervals = 0;   // intervals retired behind the frontier
   std::size_t max_intervals = 0;     // partition size high-water mark
   std::size_t max_window = 0;        // largest availability window seen
+  long long backend_flips = 0;  // live migrations (tuner or migrate_to)
+  long long tuner_evals = 0;    // PolicyTuner evaluations at advances
 
   /// Aggregation across independent schedulers (shards, sweeps): counts
-  /// add, high-water marks take the max.
-  PdCounters& operator+=(const PdCounters& other) {
-    arrivals += other.arrivals;
-    accepted += other.accepted;
-    rejected += other.rejected;
-    interval_splits += other.interval_splits;
-    horizon_extensions += other.horizon_extensions;
-    curve_cache_hits += other.curve_cache_hits;
-    curve_cache_rebuilds += other.curve_cache_rebuilds;
-    window_prunes += other.window_prunes;
-    window_exact += other.window_exact;
-    lazy_fast_path += other.lazy_fast_path;
-    lazy_commits += other.lazy_commits;
-    lazy_materializations += other.lazy_materializations;
-    compactions += other.compactions;
-    compacted_intervals += other.compacted_intervals;
-    max_intervals = std::max(max_intervals, other.max_intervals);
-    max_window = std::max(max_window, other.max_window);
-    return *this;
-  }
+  /// add, high-water marks take the max. Implemented over the reflection
+  /// table below so a new counter cannot be dropped from snapshots.
+  PdCounters& operator+=(const PdCounters& other);
   friend PdCounters operator+(PdCounters lhs, const PdCounters& rhs) {
     lhs += rhs;
     return lhs;
   }
 };
+
+/// Named-counter reflection table: the single source of truth walked by
+/// PdCounters::operator+= (snapshot aggregation), io::save_counters /
+/// io::load_counters (checkpoint wire order == table order), and the
+/// coverage unit test in tests/test_core.cpp. Adding a PdCounters field
+/// without a row here fails that test — the aggregation gap this table
+/// closes is a counter that silently vanishes from EngineSnapshot totals
+/// and checkpoints.
+struct PdCounterField {
+  enum class Kind { kAdd, kMax };
+  const char* name;
+  Kind kind;
+  long long PdCounters::*count;   // set for kAdd rows
+  std::size_t PdCounters::*mark;  // set for kMax rows
+};
+
+inline constexpr PdCounterField kPdCounterFields[] = {
+    {"arrivals", PdCounterField::Kind::kAdd, &PdCounters::arrivals, nullptr},
+    {"accepted", PdCounterField::Kind::kAdd, &PdCounters::accepted, nullptr},
+    {"rejected", PdCounterField::Kind::kAdd, &PdCounters::rejected, nullptr},
+    {"interval_splits", PdCounterField::Kind::kAdd,
+     &PdCounters::interval_splits, nullptr},
+    {"horizon_extensions", PdCounterField::Kind::kAdd,
+     &PdCounters::horizon_extensions, nullptr},
+    {"curve_cache_hits", PdCounterField::Kind::kAdd,
+     &PdCounters::curve_cache_hits, nullptr},
+    {"curve_cache_rebuilds", PdCounterField::Kind::kAdd,
+     &PdCounters::curve_cache_rebuilds, nullptr},
+    {"window_prunes", PdCounterField::Kind::kAdd, &PdCounters::window_prunes,
+     nullptr},
+    {"window_exact", PdCounterField::Kind::kAdd, &PdCounters::window_exact,
+     nullptr},
+    {"lazy_fast_path", PdCounterField::Kind::kAdd,
+     &PdCounters::lazy_fast_path, nullptr},
+    {"lazy_commits", PdCounterField::Kind::kAdd, &PdCounters::lazy_commits,
+     nullptr},
+    {"lazy_materializations", PdCounterField::Kind::kAdd,
+     &PdCounters::lazy_materializations, nullptr},
+    {"compactions", PdCounterField::Kind::kAdd, &PdCounters::compactions,
+     nullptr},
+    {"compacted_intervals", PdCounterField::Kind::kAdd,
+     &PdCounters::compacted_intervals, nullptr},
+    {"max_intervals", PdCounterField::Kind::kMax, nullptr,
+     &PdCounters::max_intervals},
+    {"max_window", PdCounterField::Kind::kMax, nullptr,
+     &PdCounters::max_window},
+    {"backend_flips", PdCounterField::Kind::kAdd, &PdCounters::backend_flips,
+     nullptr},
+    {"tuner_evals", PdCounterField::Kind::kAdd, &PdCounters::tuner_evals,
+     nullptr},
+};
+
+inline PdCounters& PdCounters::operator+=(const PdCounters& other) {
+  for (const PdCounterField& f : kPdCounterFields) {
+    if (f.kind == PdCounterField::Kind::kAdd)
+      this->*(f.count) += other.*(f.count);
+    else
+      this->*(f.mark) = std::max(this->*(f.mark), other.*(f.mark));
+  }
+  return *this;
+}
 
 struct ArrivalDecision {
   bool accepted = false;
@@ -174,11 +231,27 @@ class PdScheduler {
   /// identical to the uncompacted run (tests/test_compaction.cpp).
   void advance_to(double t, bool compact = false);
 
-  /// Returns the scheduler to its freshly-constructed state (machine, delta
-  /// and mode are kept). The session-reuse entry point for the stream
-  /// engine: a pooled scheduler object is reset and handed to the next
-  /// stream instead of being destroyed and reallocated.
+  /// Returns the scheduler to its freshly-constructed state (machine,
+  /// delta and the *configured* mode are kept — a session that migrated
+  /// backends mid-run reverts to its constructor-time cube position, and
+  /// an adaptive session restarts contiguous with a fresh tuner). The
+  /// session-reuse entry point for the stream engine: a pooled scheduler
+  /// object is reset and handed to the next stream instead of being
+  /// destroyed and reallocated.
   void reset();
+
+  /// Live backend migration: converts the session to the cube position in
+  /// `target` (only incremental/indexed/windowed/lazy are read; windowed
+  /// and lazy are forced off without indexed, as in the constructor). The
+  /// semantic state — boundaries, committed loads, pending lazy
+  /// annotations, accepted ids, decisions, clock, retired energy — is
+  /// carried; everything derived (curve cache, segment tree, grid
+  /// classification) is rebuilt cold through the state_io restore
+  /// discipline, so every subsequent decision is bitwise identical to the
+  /// never-migrated twin (tests/test_policy_tuner.cpp proves this at
+  /// randomized migration points across the whole cube). Returns false if
+  /// the target equals the live mode (no-op).
+  bool migrate_to(const PdOptions& target);
 
   /// The committed partition / assignment. On the contiguous backend these
   /// are references to the live state; on the indexed backend (the
@@ -202,6 +275,8 @@ class PdScheduler {
   [[nodiscard]] bool indexed() const { return indexed_; }
   [[nodiscard]] bool windowed() const { return windowed_; }
   [[nodiscard]] bool lazy() const { return lazy_; }
+  [[nodiscard]] bool adaptive() const { return adaptive_; }
+  [[nodiscard]] const PolicyTuner& tuner() const { return tuner_; }
 
   /// Total energy of the committed plan (sum of interval P_k), including
   /// the energy of intervals retired by compaction. Bitwise identical to
@@ -239,6 +314,23 @@ class PdScheduler {
   friend void io::load_scheduler(std::istream&, core::PdScheduler&);
 
   void ensure_boundary(double t);
+  /// Resets the live flags to the configured cube position (contiguous
+  /// start when adaptive) and aligns state_/cache_ with them.
+  void apply_start_flags();
+  /// Advance-boundary tuner hook: evaluates the PolicyTuner (respecting
+  /// its eval_period) and migrates when it returns a flip verdict.
+  void maybe_tune();
+  /// Rebuilds the windowed screen's accepted-id map from the live loads
+  /// (plus carried lazy annotations) after a migration enabled the screen
+  /// mid-session. Deadlines are the last load-bearing interval ends — a
+  /// conservative superset of what the never-windowed history recorded,
+  /// which keeps the screen sound (a job with committed window load can
+  /// never pass it) without changing any decision.
+  void rebuild_accepted_ids(const CurveCache::LazyState& carried);
+  /// After enabling lazy mid-session: spans the whole live range with the
+  /// commit extent when any committed load exists, so the virgin-window
+  /// certificate stays sound (it can only miss fast paths, never misfire).
+  void seed_lazy_extent();
   /// Retires every interval ending at or before `frontier`: accumulates
   /// their energy, reclaims store/cache/tree state, and drops accepted-id
   /// records whose whole window is behind the frontier (their loads cannot
@@ -252,11 +344,16 @@ class PdScheduler {
 
   model::Machine machine_;
   double delta_;
+  // Live cube position — migrate_to moves these at runtime; the configured
+  // position lives in base_options_ (the ceiling adaptive tuning honours).
   bool incremental_;
   bool indexed_;
   bool windowed_;
   bool lazy_;
   bool record_decisions_;
+  bool adaptive_;
+  PdOptions base_options_;  // constructor-time config, flags normalized
+  PolicyTuner tuner_;
   OnlineState state_;
   CurveCache cache_;
   // Job ids this scheduler has accepted, with the latest deadline seen

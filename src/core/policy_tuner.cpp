@@ -1,0 +1,101 @@
+#include "core/policy_tuner.hpp"
+
+#include <algorithm>
+
+#include "core/pd_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace pss::core {
+
+bool PolicyTuner::tick() {
+  PSS_REQUIRE(options_.eval_period >= 1, "eval_period must be positive");
+  ++state_.advances;
+  return state_.advances % options_.eval_period == 0;
+}
+
+void PolicyTuner::observe_cost(bool on_indexed, double seconds) {
+  if (!options_.cost_model || seconds < 0.0) return;
+  double& ewma = on_indexed ? state_.ewma_indexed : state_.ewma_contig;
+  // First sample seeds the average; afterwards a mild 1/8 blend — slow
+  // enough to ride out scheduler noise, fast enough to track a phase shift
+  // within one feature-sample window.
+  ewma = ewma == 0.0 ? seconds : ewma + (seconds - ewma) / 8.0;
+}
+
+TunerVerdict PolicyTuner::evaluate(const PdCounters& counters,
+                                   std::size_t live_intervals,
+                                   bool cur_indexed, bool cur_windowed,
+                                   bool cur_lazy, bool ceil_indexed,
+                                   bool ceil_windowed, bool ceil_lazy) {
+  PSS_REQUIRE(options_.down_fraction > 0.0 && options_.down_fraction < 1.0,
+              "down_fraction must lie in (0, 1)");
+  double threshold = state_.threshold > 0.0
+                         ? state_.threshold
+                         : double(options_.indexed_threshold);
+  if (options_.cost_model && state_.ewma_contig > 0.0 &&
+      state_.ewma_indexed > 0.0) {
+    // One multiplicative gradient step per evaluation: if the indexed
+    // backend has been observed cheaper per arrival, flip earlier next
+    // time (shrink the threshold); if dearer, later. The clamp keeps a
+    // noisy EWMA from driving the threshold out of the useful range.
+    threshold *= state_.ewma_indexed <= state_.ewma_contig
+                     ? 1.0 - options_.cost_eta
+                     : 1.0 + options_.cost_eta;
+    threshold = std::clamp(threshold, double(options_.threshold_min),
+                           double(options_.threshold_max));
+  }
+  state_.threshold = threshold;
+
+  // Feature effectiveness, judged over the traffic since the last flip —
+  // and only once a full sample window has accumulated, so a short burst
+  // cannot condemn the screen on a handful of arrivals.
+  const long long sampled = counters.arrivals - state_.mark_arrivals;
+  if (cur_windowed && sampled >= options_.min_feature_samples) {
+    const long long prunes =
+        counters.window_prunes - state_.mark_window_prunes;
+    const long long screened =
+        prunes + (counters.window_exact - state_.mark_window_exact);
+    if (screened >= options_.min_feature_samples &&
+        double(prunes) < options_.min_prune_rate * double(screened))
+      state_.window_dropped = true;
+  }
+  if (cur_lazy && sampled >= options_.min_feature_samples) {
+    const long long fast = counters.lazy_fast_path - state_.mark_lazy_fast;
+    if (double(fast) < options_.min_lazy_rate * double(sampled))
+      state_.lazy_dropped = true;
+  }
+
+  // Backend, with the hysteresis band: up at the threshold, down only at
+  // threshold * down_fraction — an interval count oscillating anywhere
+  // inside the band flips at most once.
+  bool want_indexed = cur_indexed;
+  if (!cur_indexed && double(live_intervals) >= threshold)
+    want_indexed = true;
+  else if (cur_indexed &&
+           double(live_intervals) <= threshold * options_.down_fraction)
+    want_indexed = false;
+  want_indexed = want_indexed && ceil_indexed;
+
+  TunerVerdict verdict;
+  verdict.indexed = want_indexed;
+  verdict.windowed = want_indexed && ceil_windowed && !state_.window_dropped;
+  verdict.lazy = want_indexed && ceil_lazy && !state_.lazy_dropped;
+  verdict.migrate = verdict.indexed != cur_indexed ||
+                    verdict.windowed != cur_windowed ||
+                    verdict.lazy != cur_lazy;
+  if (cur_indexed && !want_indexed) {
+    // A fresh contiguous stint forgets the drop verdicts: the next up-flip
+    // gets to retry the features against its own traffic.
+    state_.window_dropped = false;
+    state_.lazy_dropped = false;
+  }
+  if (verdict.migrate) {
+    state_.mark_arrivals = counters.arrivals;
+    state_.mark_window_prunes = counters.window_prunes;
+    state_.mark_window_exact = counters.window_exact;
+    state_.mark_lazy_fast = counters.lazy_fast_path;
+  }
+  return verdict;
+}
+
+}  // namespace pss::core

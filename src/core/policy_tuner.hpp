@@ -1,0 +1,126 @@
+// Per-session adaptive backend selection (the ROADMAP's PolicyTuner).
+//
+// The engine exposes a 2x2x2x2 option cube, but the right point in it is
+// workload-dependent: the treap-backed IntervalStore costs ~5-10% over the
+// contiguous vectors while the partition stays small, the windowed screen
+// only pays off when it actually certifies rejections, and the lazy
+// closed-form accept only fires on grid-uniform virgin windows. The tuner
+// watches a session's PdCounters at advance boundaries and flips the live
+// backend through PdScheduler::migrate_to once the observed workload
+// crosses a hysteresis threshold:
+//
+//   * contiguous -> indexed when the live interval count reaches
+//     `indexed_threshold`; back down only when it falls to
+//     `indexed_threshold * down_fraction` (the gap is the hysteresis band
+//     that keeps an oscillating workload from thrashing the backend).
+//   * windowed / lazy ride the indexed flip (bounded by the session's
+//     configured cube position), and are dropped again if the observed
+//     prune / fast-path rates stay below their floors over a full sample
+//     window — a screen that never certifies is pure overhead.
+//
+// Every flip is decision-preserving by construction (migration rebuilds
+// the state cold through the state_io restore discipline), so the tuner
+// changes only *cost*, never a decision — the randomized migration-point
+// differential harness in tests/test_policy_tuner.cpp is the proof.
+//
+// With `cost_model` on, the tuner additionally takes one multiplicative
+// gradient step on the flip threshold per evaluation, driven by the sign
+// of the observed per-arrival cost EWMAs of the two backends (the
+// verify_proposition4-style one-step update). Off by default: it makes
+// flip *timing* depend on wall-clock measurements, and the deterministic
+// tests keep it off.
+#pragma once
+
+#include <cstddef>
+
+namespace pss::core {
+
+struct PdCounters;
+
+struct TunerOptions {
+  /// Live-interval count at which a contiguous session flips to the
+  /// indexed backend (cost-model steps adjust the live copy in TunerState).
+  std::size_t indexed_threshold = 1024;
+  /// Hysteresis: flip back to contiguous only below
+  /// indexed_threshold * down_fraction. Must be < 1.
+  double down_fraction = 0.25;
+  /// Evaluate every Nth advance boundary (1 = every advance).
+  long long eval_period = 1;
+  /// Arrivals that must accumulate since the last flip before the windowed
+  /// screen or lazy accepts can be judged ineffective and dropped.
+  long long min_feature_samples = 256;
+  /// Keep the windowed screen only if certified prunes stay at or above
+  /// this fraction of screened arrivals over a sample window.
+  double min_prune_rate = 0.05;
+  /// Keep lazy accepts only if the closed-form fast path fires on at least
+  /// this fraction of arrivals over a sample window.
+  double min_lazy_rate = 0.05;
+  /// One multiplicative gradient step on the threshold per evaluation from
+  /// observed per-arrival cost (non-deterministic timing; default off).
+  bool cost_model = false;
+  /// Step size of that update (threshold *= 1 -/+ cost_eta).
+  double cost_eta = 0.25;
+  /// Clamp range for the cost-model-adjusted threshold.
+  std::size_t threshold_min = 64;
+  std::size_t threshold_max = std::size_t(1) << 20;
+};
+
+/// The tuner's checkpointable trajectory: everything a restore needs to
+/// resume the same policy (io::save_scheduler round-trips this verbatim).
+struct TunerState {
+  double threshold = 0.0;  // live flip threshold; 0 = options default
+  long long advances = 0;  // advance boundaries seen (eval_period phase)
+  bool window_dropped = false;  // screen judged ineffective this stint
+  bool lazy_dropped = false;    // lazy accepts judged ineffective
+  // Counter snapshot at the last flip: feature rates are measured over the
+  // delta since this mark, so a new stint is judged on its own traffic.
+  long long mark_arrivals = 0;
+  long long mark_window_prunes = 0;
+  long long mark_window_exact = 0;
+  long long mark_lazy_fast = 0;
+  // Per-arrival cost EWMAs (seconds; 0 = no sample yet), cost_model only.
+  double ewma_contig = 0.0;
+  double ewma_indexed = 0.0;
+};
+
+/// What evaluate() decided the live cube position should be.
+struct TunerVerdict {
+  bool migrate = false;  // true iff the flags below differ from current
+  bool indexed = false;
+  bool windowed = false;
+  bool lazy = false;
+};
+
+class PolicyTuner {
+ public:
+  PolicyTuner() = default;
+  explicit PolicyTuner(const TunerOptions& options) : options_(options) {}
+
+  /// Advance-boundary gate: counts the tick and returns true when this
+  /// tick is an evaluation point (every eval_period-th advance).
+  bool tick();
+
+  /// Decides the target cube position from the session's observed
+  /// counters. `ceil_*` is the session's configured cube position — the
+  /// tuner never enables a feature the configuration did not ask for.
+  /// Deterministic given the counter/interval inputs unless cost_model is
+  /// on (the EWMAs then steer the threshold).
+  TunerVerdict evaluate(const PdCounters& counters,
+                        std::size_t live_intervals, bool cur_indexed,
+                        bool cur_windowed, bool cur_lazy, bool ceil_indexed,
+                        bool ceil_windowed, bool ceil_lazy);
+
+  /// Feeds one observed per-arrival cost sample (cost_model only).
+  void observe_cost(bool on_indexed, double seconds);
+
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+  [[nodiscard]] const TunerState& state() const { return state_; }
+  /// Checkpoint restore writes the trajectory back through this.
+  [[nodiscard]] TunerState& mutable_state() { return state_; }
+
+ private:
+  TunerOptions options_;
+  TunerState state_;
+};
+
+}  // namespace pss::core

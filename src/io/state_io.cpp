@@ -110,42 +110,26 @@ std::uint64_t read_count(std::istream& is) {
 
 }  // namespace
 
+// Both codecs walk the counter reflection table (core/pd_scheduler.hpp):
+// wire order is table order, so a counter added with its table row is
+// checkpointed automatically, and one added without a row fails the
+// coverage test in tests/test_core.cpp before it can vanish from here.
 void save_counters(std::ostream& os, const core::PdCounters& c) {
-  write_i64(os, c.arrivals);
-  write_i64(os, c.accepted);
-  write_i64(os, c.rejected);
-  write_i64(os, c.interval_splits);
-  write_i64(os, c.horizon_extensions);
-  write_i64(os, c.curve_cache_hits);
-  write_i64(os, c.curve_cache_rebuilds);
-  write_i64(os, c.window_prunes);
-  write_i64(os, c.window_exact);
-  write_i64(os, c.lazy_fast_path);
-  write_i64(os, c.lazy_commits);
-  write_i64(os, c.lazy_materializations);
-  write_i64(os, c.compactions);
-  write_i64(os, c.compacted_intervals);
-  write_u64(os, c.max_intervals);
-  write_u64(os, c.max_window);
+  for (const core::PdCounterField& f : core::kPdCounterFields) {
+    if (f.kind == core::PdCounterField::Kind::kAdd)
+      write_i64(os, c.*(f.count));
+    else
+      write_u64(os, c.*(f.mark));
+  }
 }
 
 void load_counters(std::istream& is, core::PdCounters& c) {
-  c.arrivals = read_i64(is);
-  c.accepted = read_i64(is);
-  c.rejected = read_i64(is);
-  c.interval_splits = read_i64(is);
-  c.horizon_extensions = read_i64(is);
-  c.curve_cache_hits = read_i64(is);
-  c.curve_cache_rebuilds = read_i64(is);
-  c.window_prunes = read_i64(is);
-  c.window_exact = read_i64(is);
-  c.lazy_fast_path = read_i64(is);
-  c.lazy_commits = read_i64(is);
-  c.lazy_materializations = read_i64(is);
-  c.compactions = read_i64(is);
-  c.compacted_intervals = read_i64(is);
-  c.max_intervals = static_cast<std::size_t>(read_u64(is));
-  c.max_window = static_cast<std::size_t>(read_u64(is));
+  for (const core::PdCounterField& f : core::kPdCounterFields) {
+    if (f.kind == core::PdCounterField::Kind::kAdd)
+      c.*(f.count) = read_i64(is);
+    else
+      c.*(f.mark) = static_cast<std::size_t>(read_u64(is));
+  }
 }
 
 namespace {
@@ -272,6 +256,22 @@ void save_scheduler(std::ostream& os, const core::PdScheduler& s) {
 
   save_lazy(os, s.cache_.lazy_state());
   save_counters(os, s.counters_);
+
+  // Adaptive-tuner block (PR 10): the mode flags written above are *live*
+  // state now — a session may have migrated backends mid-run — and the
+  // tuner trajectory rides along so a restore resumes the same policy.
+  write_bool(os, s.adaptive_);
+  const core::TunerState& ts = s.tuner_.state();
+  write_f64(os, ts.threshold);
+  write_i64(os, ts.advances);
+  write_bool(os, ts.window_dropped);
+  write_bool(os, ts.lazy_dropped);
+  write_i64(os, ts.mark_arrivals);
+  write_i64(os, ts.mark_window_prunes);
+  write_i64(os, ts.mark_window_exact);
+  write_i64(os, ts.mark_lazy_fast);
+  write_f64(os, ts.ewma_contig);
+  write_f64(os, ts.ewma_indexed);
 }
 
 void load_scheduler(std::istream& is, core::PdScheduler& s) {
@@ -279,12 +279,26 @@ void load_scheduler(std::istream& is, core::PdScheduler& s) {
               "checkpoint machine mismatch");
   PSS_REQUIRE(read_f64(is) == s.machine_.alpha, "checkpoint alpha mismatch");
   PSS_REQUIRE(read_f64(is) == s.delta_, "checkpoint delta mismatch");
-  PSS_REQUIRE(read_bool(is) == s.incremental_ && read_bool(is) == s.indexed_ &&
-                  read_bool(is) == s.windowed_ && read_bool(is) == s.lazy_ &&
-                  read_bool(is) == s.record_decisions_,
-              "checkpoint mode flags mismatch");
+  const bool incremental = read_bool(is);
+  const bool indexed = read_bool(is);
+  const bool windowed = read_bool(is);
+  const bool lazy = read_bool(is);
+  PSS_REQUIRE(read_bool(is) == s.record_decisions_,
+              "checkpoint record_decisions mismatch");
 
   s.reset();
+  // The mode flags are live, migratable state (PR 10): adopt the blob's
+  // cube position instead of requiring it, so a mid-flip session restores
+  // onto the backend it was checkpointed on even when the target's
+  // configured position differs (e.g. restore into an adaptive-off
+  // engine). Machine/delta/record_decisions above stay strict — those
+  // change what the replayed bytes *mean*.
+  s.incremental_ = incremental;
+  s.indexed_ = indexed;
+  s.windowed_ = windowed && indexed;
+  s.lazy_ = lazy && indexed;
+  s.state_.indexed = s.indexed_;
+  s.cache_.enable_lazy(s.lazy_);
   s.first_arrival_ = read_bool(is);
   s.last_release_ = read_f64(is);
   s.retired_energy_ = read_f64(is);
@@ -348,6 +362,24 @@ void load_scheduler(std::istream& is, core::PdScheduler& s) {
   // replay above accumulated with the live run's exact lazy image.
   s.cache_.restore_lazy_state(load_lazy(is));
   load_counters(is, s.counters_);
+
+  // Blob's adaptive flag is informational: whether tuning *continues* is
+  // the restore target's own configuration (an adaptive-off target keeps
+  // the blob's backend and never flips again). The trajectory itself is
+  // restored so an adaptive-on target resumes the same policy.
+  (void)read_bool(is);
+  core::TunerState ts;
+  ts.threshold = read_f64(is);
+  ts.advances = read_i64(is);
+  ts.window_dropped = read_bool(is);
+  ts.lazy_dropped = read_bool(is);
+  ts.mark_arrivals = read_i64(is);
+  ts.mark_window_prunes = read_i64(is);
+  ts.mark_window_exact = read_i64(is);
+  ts.mark_lazy_fast = read_i64(is);
+  ts.ewma_contig = read_f64(is);
+  ts.ewma_indexed = read_f64(is);
+  s.tuner_.mutable_state() = ts;
 }
 
 }  // namespace pss::io

@@ -251,12 +251,15 @@ void StreamEngine::stop() {
 // ------------------------------------------------------ checkpoint/restore
 
 namespace {
-// "PSSCKPT3" as a little-endian u64 — version byte last. (v2 added the
+// "PSSCKPT4" as a little-endian u64 — version byte last. (v2 added the
 // admission/late-reject tallies to the per-shard stats block; v3 added the
-// WAL checkpoint-mark stamp for crash recovery.)
-constexpr std::uint64_t kCheckpointMagic = 0x3354504B43535350ull;
-// "PSSSHRD1": a single-shard image (checkpoint_shard / restore_shard).
-constexpr std::uint64_t kShardMagic = 0x3144524853535350ull;
+// WAL checkpoint-mark stamp for crash recovery; v4 added the adaptive
+// config byte plus the per-session tuner block and the two tuner counters
+// in the counter table.)
+constexpr std::uint64_t kCheckpointMagic = 0x3454504B43535350ull;
+// "PSSSHRD2": a single-shard image (checkpoint_shard / restore_shard),
+// version-bumped in lockstep with the v4 session-blob format.
+constexpr std::uint64_t kShardMagic = 0x3244524853535350ull;
 }  // namespace
 
 bool StreamEngine::quiesce_producers() {
@@ -288,6 +291,7 @@ void StreamEngine::write_config(std::ostream& os) const {
   io::write_u8(os, options_.scheduler.windowed ? 1 : 0);
   io::write_u8(os, options_.scheduler.lazy ? 1 : 0);
   io::write_u8(os, options_.record_decisions ? 1 : 0);
+  io::write_u8(os, options_.scheduler.adaptive ? 1 : 0);
 }
 
 void StreamEngine::check_config(std::istream& is) const {
@@ -307,6 +311,11 @@ void StreamEngine::check_config(std::istream& is) const {
                   (io::read_u8(is) != 0) == options_.scheduler.lazy &&
                   (io::read_u8(is) != 0) == options_.record_decisions,
               "checkpoint mode flags mismatch");
+  // Adaptive is deliberately not enforced: per-session blobs carry their
+  // live backend and tuner trajectory, so a checkpoint taken under an
+  // adaptive engine restores into an adaptive-off engine (sessions keep
+  // their checkpointed backends, tuning just stops) and vice versa.
+  (void)io::read_u8(is);
 }
 
 void StreamEngine::write_shard_state(std::ostream& os, Shard& shard) const {

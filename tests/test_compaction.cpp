@@ -360,11 +360,21 @@ TEST(Checkpoint, RejectsMismatchedConfigurationAndGarbage) {
   std::istringstream is1(blob, std::ios::binary);
   EXPECT_THROW(io::load_scheduler(is1, wrong_machine), std::invalid_argument);
 
+  // Mode flags are live, migratable state since PR 10: a differently
+  // configured target adopts the blob's cube position instead of
+  // rejecting it, and continues bitwise identically to the source.
   PdOptions contiguous;
   contiguous.indexed = false;
-  PdScheduler wrong_mode(kMachine, contiguous);
+  PdScheduler other_mode(kMachine, contiguous);
   std::istringstream is2(blob, std::ios::binary);
-  EXPECT_THROW(io::load_scheduler(is2, wrong_mode), std::invalid_argument);
+  io::load_scheduler(is2, other_mode);
+  EXPECT_TRUE(other_mode.indexed());
+  const Job next{1, 1.0, 4.0, 1.0, 5.0};
+  const auto d_src = source.on_arrival(next);
+  const auto d_restored = other_mode.on_arrival(next);
+  EXPECT_EQ(d_src.accepted, d_restored.accepted);
+  EXPECT_EQ(d_src.lambda, d_restored.lambda);
+  EXPECT_EQ(d_src.planned_energy, d_restored.planned_energy);
 
   PdScheduler truncated_target(kMachine, {});
   std::istringstream is3(blob.substr(0, blob.size() / 2), std::ios::binary);

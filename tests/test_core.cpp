@@ -4,7 +4,12 @@
 // parameterized property sweeps).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "chen/interval_schedule.hpp"
 #include "convex/brute_force.hpp"
@@ -210,6 +215,60 @@ TEST(PdCounters, AggregationSumsCountsAndMaxesHighWaterMarks) {
   acc += b;
   EXPECT_EQ(acc.arrivals, sum.arrivals);
   EXPECT_EQ(acc.max_window, sum.max_window);
+}
+
+// The reflection table IS the aggregation, the checkpoint wire format and
+// the coverage contract. This test tiles sizeof(PdCounters) with the
+// table's member offsets: add a counter member without a kPdCounterFields
+// row and the byte accounting below fails, pointing at the hole.
+TEST(PdCounters, ReflectionTableCoversEveryMember) {
+  core::PdCounters probe;
+  const char* base = reinterpret_cast<const char*>(&probe);
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // offset, size
+  std::set<std::string> names;
+  for (const core::PdCounterField& f : core::kPdCounterFields) {
+    ASSERT_TRUE(names.insert(f.name).second) << "duplicate row " << f.name;
+    if (f.kind == core::PdCounterField::Kind::kAdd) {
+      ASSERT_NE(f.count, nullptr) << f.name;
+      spans.emplace_back(
+          std::size_t(reinterpret_cast<const char*>(&(probe.*f.count)) -
+                      base),
+          sizeof(long long));
+    } else {
+      ASSERT_NE(f.mark, nullptr) << f.name;
+      spans.emplace_back(
+          std::size_t(reinterpret_cast<const char*>(&(probe.*f.mark)) -
+                      base),
+          sizeof(std::size_t));
+    }
+  }
+  std::sort(spans.begin(), spans.end());
+  std::size_t covered = 0;
+  for (const auto& [offset, size] : spans) {
+    ASSERT_EQ(offset, covered)
+        << "gap before offset " << offset
+        << ": a PdCounters member has no kPdCounterFields row";
+    covered = offset + size;
+  }
+  ASSERT_EQ(covered, sizeof(core::PdCounters))
+      << "trailing PdCounters member(s) missing from kPdCounterFields";
+
+  // Per-row semantics through the table itself: kAdd rows sum, kMax rows
+  // take the high-water mark.
+  for (const core::PdCounterField& f : core::kPdCounterFields) {
+    core::PdCounters lhs, rhs;
+    if (f.kind == core::PdCounterField::Kind::kAdd) {
+      lhs.*f.count = 3;
+      rhs.*f.count = 5;
+      lhs += rhs;
+      EXPECT_EQ(lhs.*f.count, 8) << f.name;
+    } else {
+      lhs.*f.mark = 7;
+      rhs.*f.mark = 5;
+      lhs += rhs;
+      EXPECT_EQ(lhs.*f.mark, 7u) << f.name;
+    }
+  }
 }
 
 TEST(PdScheduler, ResetReproducesAFreshScheduler) {

@@ -1,0 +1,561 @@
+// Flip-safety proof for live backend migration and the PolicyTuner.
+//
+// The randomized migration-point differential harness: for every source
+// variant of the {incremental} x {indexed} x {windowed} x {lazy} cube,
+// replay the four workload families while forcing a migrate_to at a
+// randomly sampled op index into a randomly sampled *different* cube
+// position, and assert the migrated engine's decisions, lambdas, speeds
+// and energies stay bitwise equal to the never-migrated twin — on every
+// arrival after the flip and on the final planned energy. ~200 seeded
+// instances per run; the sample points are drawn from PSS_TUNER_SEED when
+// set (CI passes a fresh seed every run) and from a fixed default
+// otherwise, so local runs are reproducible.
+//
+// The canary test proves the harness has teeth: a fault injected at the
+// migrate.materialize site (util/fault) models a migration that forgets
+// to land pending lazy annotations, and the same comparison machinery
+// must then report a mismatch.
+//
+// Also here: tuner-driven adaptive sessions (full-stream bitwise identity
+// against every static variant), mid-flip checkpoint/restore at scheduler
+// and engine level including restore into an adaptive-off engine, and
+// recycled-session policy reversion.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pd_scheduler.hpp"
+#include "io/state_io.hpp"
+#include "model/instance.hpp"
+#include "stream/engine.hpp"
+#include "util/fault.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "workload/generators.hpp"
+
+namespace pss {
+namespace {
+
+using core::ArrivalDecision;
+using core::PdOptions;
+using core::PdScheduler;
+using model::Machine;
+
+// The full engine cube (mirrors tests/test_differential.cpp): migrations
+// are sampled over source x target pairs of these 12 variants.
+const struct EngineVariant {
+  const char* name;
+  PdOptions options;
+} kVariants[] = {
+    {"contiguous+cached",
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = false,
+      .lazy = false}},
+    {"contiguous+stateless+windowed(inert)",
+     {.delta = {}, .incremental = false, .indexed = false, .windowed = true,
+      .lazy = false}},
+    {"contiguous+cached+windowed(inert)",
+     {.delta = {}, .incremental = true, .indexed = false, .windowed = true,
+      .lazy = false}},
+    {"contiguous+stateless+lazy(inert)",
+     {.delta = {}, .incremental = false, .indexed = false, .windowed = false,
+      .lazy = true}},
+    {"indexed+stateless",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = false,
+      .lazy = false}},
+    {"indexed+cached",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = false,
+      .lazy = false}},
+    {"indexed+stateless+windowed",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = true,
+      .lazy = false}},
+    {"indexed+cached+windowed",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = true,
+      .lazy = false}},
+    {"indexed+stateless+lazy",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = false,
+      .lazy = true}},
+    {"indexed+cached+lazy",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = false,
+      .lazy = true}},
+    {"indexed+stateless+windowed+lazy",
+     {.delta = {}, .incremental = false, .indexed = true, .windowed = true,
+      .lazy = true}},
+    {"indexed+cached+windowed+lazy",
+     {.delta = {}, .incremental = true, .indexed = true, .windowed = true,
+      .lazy = true}},
+};
+constexpr std::size_t kNumVariants = std::size(kVariants);
+
+// migrate_to normalizes windowed/lazy under the indexed flag, so the four
+// contiguous variants collapse to two live positions; sampling must avoid
+// pairs that normalize to a no-op.
+struct NormalizedCube {
+  bool incremental, indexed, windowed, lazy;
+  bool operator==(const NormalizedCube&) const = default;
+};
+NormalizedCube normalized(const PdOptions& o) {
+  return {o.incremental, o.indexed, o.windowed && o.indexed,
+          o.lazy && o.indexed};
+}
+
+std::uint64_t harness_seed() {
+  if (const char* env = std::getenv("PSS_TUNER_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 20260807ull;  // fixed default: local runs reproduce bitwise
+}
+
+// The four workload families of the differential suite, compact versions.
+model::Instance family_instance(int family, Machine machine,
+                                std::uint64_t seed) {
+  switch (family % 4) {
+    case 0: {
+      workload::UniformConfig config;
+      config.num_jobs = 40;
+      config.value_scale = 0.8 + 0.4 * double(seed % 4);
+      return workload::uniform_random(config, machine, 5000 + seed);
+    }
+    case 1: {
+      workload::PoissonConfig config;
+      config.num_jobs = 40;
+      config.arrival_rate = 0.5 + double(seed % 3);
+      config.value_scale = 1.0 + 0.5 * double(seed % 3);
+      return workload::poisson_heavy_tail(config, machine, 6000 + seed);
+    }
+    case 2: {
+      workload::TightConfig config;
+      config.num_jobs = 35;
+      config.speed_target = 1.0 + 0.5 * double(seed % 5);
+      return workload::tight_laxity(config, machine, 7000 + seed);
+    }
+    default:
+      return workload::adversarial_theorem3(6 + 2 * int(seed % 12), machine,
+                                            seed % 2 == 0 ? 2.0 : 100.0);
+  }
+}
+
+// Accept-heavy tick stream (the lazy water-level regime): produces live
+// pending annotations, which the canary needs outstanding at the
+// migration point.
+model::Instance accept_heavy_instance(int num_ticks, Machine machine,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<model::Job> jobs;
+  int id = 0;
+  for (int t = 0; t < num_ticks; ++t) {
+    model::Job tick;
+    tick.id = id++;
+    tick.release = double(t);
+    tick.deadline = double(t) + 1.0;
+    tick.work = rng.uniform(0.4, 1.6);
+    tick.value = workload::energy_fair_value(tick, machine.alpha) *
+                 rng.uniform(4.0, 8.0);
+    jobs.push_back(tick);
+    if (t % 16 == 11) {
+      model::Job loser;
+      loser.id = id++;
+      loser.release = double(t);
+      loser.deadline = double(t) + 2.0;
+      loser.work = rng.uniform(0.5, 1.5);
+      loser.value = workload::energy_fair_value(loser, machine.alpha) * 0.01;
+      jobs.push_back(loser);
+    }
+  }
+  return model::make_instance(machine, std::move(jobs));
+}
+
+void expect_decision_eq(const ArrivalDecision& a, const ArrivalDecision& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.accepted, b.accepted) << context;
+  ASSERT_EQ(a.speed, b.speed) << context;
+  ASSERT_EQ(a.lambda, b.lambda) << context;
+  ASSERT_EQ(a.planned_energy, b.planned_energy) << context;
+}
+
+// One sampled migration instance: feed `instance` to a twin pair, migrate
+// one engine at `flip_index` into `target`, and require bitwise identity
+// on everything observable afterwards.
+void run_migration_differential(const model::Instance& instance,
+                                const PdOptions& source,
+                                const PdOptions& target,
+                                std::size_t flip_index,
+                                const std::string& context) {
+  PdScheduler migrated(instance.machine(), source);
+  PdScheduler twin(instance.machine(), source);
+  const auto& jobs = instance.jobs_by_release();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i == flip_index) migrated.migrate_to(target);
+    const auto a = migrated.on_arrival(jobs[i]);
+    const auto b = twin.on_arrival(jobs[i]);
+    expect_decision_eq(a, b,
+                       context + " op " + std::to_string(i) +
+                           (i >= flip_index ? " (post-flip)" : " (pre-flip)"));
+  }
+  ASSERT_EQ(migrated.planned_energy(), twin.planned_energy()) << context;
+  ASSERT_EQ(migrated.final_schedule().cost(instance).total(),
+            twin.final_schedule().cost(instance).total())
+      << context;
+  ASSERT_EQ(migrated.counters().backend_flips, 1) << context;
+}
+
+// The ~200-instance randomized sweep: every source variant sees all four
+// families; target variant and flip op index are sampled per instance.
+TEST(MigrationDifferential, RandomFlipPointsAcrossTheCube) {
+  util::Rng rng(harness_seed());
+  int instances = 0;
+  for (std::size_t src = 0; src < kNumVariants; ++src) {
+    for (int family = 0; family < 4; ++family) {
+      for (int rep = 0; rep < 4; ++rep) {
+        const Machine machine{rep % 2 == 0 ? 1 : 4, 3.0};
+        const std::uint64_t seed =
+            std::uint64_t(family) * 100 + std::uint64_t(rep);
+        const auto instance = family_instance(family, machine, seed);
+        // A different *live* cube position, sampled among the other 11 and
+        // resampled past variants that normalize to the same backend.
+        std::size_t dst = src;
+        while (normalized(kVariants[dst].options) ==
+               normalized(kVariants[src].options)) {
+          dst = std::size_t(
+              rng.uniform_int(0, std::int64_t(kNumVariants) - 2));
+          if (dst >= src) ++dst;
+        }
+        const std::size_t flip_index = std::size_t(rng.uniform_int(
+            1, std::int64_t(instance.num_jobs()) - 1));
+        SCOPED_TRACE(std::string(kVariants[src].name) + " -> " +
+                     kVariants[dst].name + " @ op " +
+                     std::to_string(flip_index) + " family " +
+                     std::to_string(family) + " rep " + std::to_string(rep));
+        run_migration_differential(
+            instance, kVariants[src].options, kVariants[dst].options,
+            flip_index,
+            std::string(kVariants[src].name) + "->" + kVariants[dst].name);
+        ++instances;
+      }
+    }
+  }
+  ASSERT_GE(instances, 192);  // the "~200 instances" floor
+}
+
+// Migration with pending lazy annotations outstanding: flip away from lazy
+// exactly when commits outrun materializations, so the carried/flushed
+// pending machinery is what is under test.
+TEST(MigrationDifferential, FlipsWithPendingAnnotationsOutstanding) {
+  const Machine machine{2, 3.0};
+  const auto instance = accept_heavy_instance(64, machine, 42);
+  const PdOptions lazy_source = {.delta = {},
+                                 .incremental = true,
+                                 .indexed = true,
+                                 .windowed = true,
+                                 .lazy = true};
+  for (std::size_t dst : {0u, 5u, 7u}) {  // contiguous, indexed, windowed
+    PdScheduler probe(machine, lazy_source);
+    const auto& jobs = instance.jobs_by_release();
+    std::size_t flip_index = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      (void)probe.on_arrival(jobs[i]);
+      if (i >= 8 && probe.counters().lazy_commits >
+                        probe.counters().lazy_materializations) {
+        flip_index = i + 1;
+        break;
+      }
+    }
+    ASSERT_GT(flip_index, 0u) << "no pending annotations accumulated";
+    SCOPED_TRACE(std::string("lazy -> ") + kVariants[dst].name + " @ op " +
+                 std::to_string(flip_index));
+    run_migration_differential(instance, lazy_source, kVariants[dst].options,
+                               flip_index, kVariants[dst].name);
+  }
+}
+
+// Canary: a deliberately broken migration — the injected error at the
+// materialization site is swallowed, modeling a flip that forgets to land
+// pending annotations — must be *caught* by exactly the comparisons the
+// harness runs. A harness that stays green here proves nothing.
+TEST(MigrationDifferential, CanaryBrokenMigrationIsCaught) {
+  const Machine machine{2, 3.0};
+  const auto instance = accept_heavy_instance(64, machine, 42);
+  const PdOptions lazy_source = {.delta = {},
+                                 .incremental = true,
+                                 .indexed = true,
+                                 .windowed = false,
+                                 .lazy = true};
+  const PdOptions eager_target = {.delta = {},
+                                  .incremental = true,
+                                  .indexed = true,
+                                  .windowed = false,
+                                  .lazy = false};
+  PdScheduler migrated(machine, lazy_source);
+  PdScheduler twin(machine, lazy_source);
+  const auto& jobs = instance.jobs_by_release();
+  std::size_t flip_index = 0;
+  bool diverged = false;
+  util::FaultScope scope;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (flip_index == 0 && i >= 8 &&
+        migrated.counters().lazy_commits >
+            migrated.counters().lazy_materializations) {
+      flip_index = i;
+      util::FaultInjector::instance().arm(
+          "migrate.materialize", 0, util::FaultInjector::Kind::kError);
+      migrated.migrate_to(eager_target);
+      ASSERT_FALSE(migrated.lazy());
+    }
+    const auto a = migrated.on_arrival(jobs[i]);
+    const auto b = twin.on_arrival(jobs[i]);
+    diverged = diverged || a.accepted != b.accepted || a.speed != b.speed ||
+               a.lambda != b.lambda ||
+               a.planned_energy != b.planned_energy;
+  }
+  ASSERT_GT(flip_index, 0u) << "no pending annotations accumulated";
+  diverged = diverged || migrated.planned_energy() != twin.planned_energy();
+  // The skipped materialization dropped committed work on the floor; the
+  // harness's own comparisons must see it.
+  ASSERT_TRUE(diverged)
+      << "harness failed to catch a migration that lost pending annotations";
+}
+
+// ---------------------------------------------------------------- tuner
+
+PdOptions adaptive_options(std::size_t threshold) {
+  PdOptions o;
+  o.adaptive = true;
+  o.tuner.indexed_threshold = threshold;
+  return o;
+}
+
+// An adaptive session must (a) actually flip and (b) stay bitwise
+// identical to every static variant over the whole stream.
+TEST(PolicyTuner, AdaptiveSessionFlipsAndStaysBitwiseIdentical) {
+  const Machine machine{2, 3.0};
+  const auto instance = accept_heavy_instance(96, machine, 7);
+  PdScheduler adaptive(machine, adaptive_options(16));
+  std::vector<PdScheduler> statics;
+  for (const EngineVariant& v : kVariants)
+    statics.emplace_back(machine, v.options);
+  for (const model::Job& job : instance.jobs_by_release()) {
+    const auto a = adaptive.on_arrival(job);
+    adaptive.advance_to(job.release, /*compact=*/false);
+    for (std::size_t i = 0; i < statics.size(); ++i) {
+      const auto b = statics[i].on_arrival(job);
+      expect_decision_eq(a, b, std::string("vs ") + kVariants[i].name);
+    }
+  }
+  EXPECT_TRUE(adaptive.indexed());  // the stream grew past the threshold
+  EXPECT_GT(adaptive.counters().backend_flips, 0);
+  EXPECT_GT(adaptive.counters().tuner_evals, 0);
+  for (std::size_t i = 0; i < statics.size(); ++i)
+    ASSERT_EQ(adaptive.planned_energy(), statics[i].planned_energy())
+        << kVariants[i].name;
+}
+
+TEST(PolicyTuner, StartsContiguousAndResetRevertsPolicy) {
+  const Machine machine{1, 2.0};
+  PdScheduler s(machine, adaptive_options(4));
+  EXPECT_FALSE(s.indexed());
+  EXPECT_FALSE(s.windowed());
+  EXPECT_FALSE(s.lazy());
+  for (int t = 0; t < 12; ++t) {
+    (void)s.on_arrival({t, double(t), double(t) + 1.0, 0.5, util::kInf});
+    s.advance_to(double(t) + 1.0);
+  }
+  ASSERT_TRUE(s.indexed());
+  ASSERT_GT(s.counters().backend_flips, 0);
+  // A recycled session reverts to the configured start and a fresh tuner.
+  s.reset();
+  EXPECT_FALSE(s.indexed());
+  EXPECT_EQ(s.counters().backend_flips, 0);
+  EXPECT_EQ(s.tuner().state().advances, 0);
+}
+
+TEST(PolicyTuner, HysteresisBandHoldsTheBackend) {
+  core::TunerOptions opts;
+  opts.indexed_threshold = 100;
+  opts.down_fraction = 0.25;
+  core::PolicyTuner tuner(opts);
+  core::PdCounters counters;
+  // Up-flip at the threshold.
+  auto v = tuner.evaluate(counters, 100, false, false, false, true, true,
+                          true);
+  EXPECT_TRUE(v.migrate);
+  EXPECT_TRUE(v.indexed);
+  // Oscillation inside the band (26..99 live intervals): no verdict ever
+  // asks to leave the indexed backend.
+  for (std::size_t live : {90u, 26u, 99u, 40u, 75u}) {
+    v = tuner.evaluate(counters, live, true, true, true, true, true, true);
+    EXPECT_FALSE(v.migrate) << live;
+  }
+  // Down-flip only at threshold * down_fraction.
+  v = tuner.evaluate(counters, 25, true, true, true, true, true, true);
+  EXPECT_TRUE(v.migrate);
+  EXPECT_FALSE(v.indexed);
+}
+
+// ----------------------------------------------------- checkpoint/restore
+
+std::string serialize(const PdScheduler& s) {
+  std::ostringstream os(std::ios::binary);
+  io::save_scheduler(os, s);
+  return os.str();
+}
+
+// Round-trip a scheduler mid-flip: the restore must resume on the
+// migrated backend (not the configured start) with the tuner trajectory
+// intact, and stay bitwise identical under suffix replay.
+TEST(TunerCheckpoint, MidFlipSchedulerRoundTripsAndResumesBackend) {
+  const Machine machine{2, 3.0};
+  const auto instance = accept_heavy_instance(96, machine, 11);
+  const auto& jobs = instance.jobs_by_release();
+  PdScheduler live(machine, adaptive_options(16));
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    (void)live.on_arrival(jobs[i]);
+    live.advance_to(jobs[i].release);
+    if (live.counters().backend_flips > 0 && i >= 24) {
+      cut = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(cut, 0u) << "the tuner never flipped";
+  ASSERT_TRUE(live.indexed());
+  const std::string blob = serialize(live);
+
+  // Restore into an adaptive twin: same backend, same bytes, bitwise
+  // suffix. Then restore into an adaptive-OFF contiguous-configured
+  // scheduler: it must still resume on the blob's indexed backend and
+  // replay the identical suffix (its tuner simply never runs again).
+  PdOptions static_contiguous;
+  static_contiguous.incremental = true;
+  static_contiguous.indexed = false;
+  PdScheduler adaptive_twin(machine, adaptive_options(16));
+  PdScheduler static_twin(machine, static_contiguous);
+  {
+    std::istringstream is(blob, std::ios::binary);
+    io::load_scheduler(is, adaptive_twin);
+  }
+  {
+    std::istringstream is(blob, std::ios::binary);
+    io::load_scheduler(is, static_twin);
+  }
+  ASSERT_EQ(serialize(adaptive_twin), blob);
+  ASSERT_TRUE(adaptive_twin.indexed());
+  ASSERT_TRUE(static_twin.indexed());
+  ASSERT_FALSE(static_twin.adaptive());
+  EXPECT_EQ(adaptive_twin.tuner().state().advances,
+            live.tuner().state().advances);
+  for (std::size_t i = cut; i < jobs.size(); ++i) {
+    const auto a = live.on_arrival(jobs[i]);
+    const auto b = adaptive_twin.on_arrival(jobs[i]);
+    const auto c = static_twin.on_arrival(jobs[i]);
+    live.advance_to(jobs[i].release);
+    adaptive_twin.advance_to(jobs[i].release);
+    static_twin.advance_to(jobs[i].release);
+    expect_decision_eq(a, b, "adaptive twin op " + std::to_string(i));
+    expect_decision_eq(a, c, "static twin op " + std::to_string(i));
+  }
+  ASSERT_EQ(live.planned_energy(), adaptive_twin.planned_energy());
+  ASSERT_EQ(live.planned_energy(), static_twin.planned_energy());
+}
+
+// Engine-level: checkpoint an adaptive engine mid-run, restore into both
+// an adaptive engine and an adaptive-off engine, and require the replayed
+// suffix to finish with bitwise-identical per-stream results.
+TEST(TunerCheckpoint, MidFlipEngineRestoresIntoAdaptiveOnAndOff) {
+  stream::EngineOptions adaptive_opts;
+  adaptive_opts.num_shards = 2;
+  adaptive_opts.machine = Machine{2, 3.0};
+  adaptive_opts.record_decisions = true;
+  adaptive_opts.scheduler.adaptive = true;
+  adaptive_opts.scheduler.tuner.indexed_threshold = 8;
+  stream::EngineOptions static_opts = adaptive_opts;
+  static_opts.scheduler.adaptive = false;
+
+  const int kStreams = 8, kPrefix = 24, kSuffix = 16;
+  auto feed_ticks = [&](stream::StreamEngine& engine, int from, int to) {
+    for (int t = from; t < to; ++t)
+      for (int sid = 0; sid < kStreams; ++sid) {
+        model::Job job;
+        job.id = t * kStreams + sid;
+        job.release = double(t);
+        job.deadline = double(t) + 12.0;  // working set ~12 intervals > threshold
+        job.work = 0.4 + 0.1 * double((t + sid) % 5);
+        job.value = util::kInf;
+        ASSERT_TRUE(engine.feed(stream::StreamId(sid), job));
+        // Advance boundaries are where the tuner evaluates.
+        ASSERT_TRUE(engine.advance(stream::StreamId(sid), double(t)));
+      }
+  };
+
+  std::string blob;
+  {
+    stream::StreamEngine source(adaptive_opts);
+    feed_ticks(source, 0, kPrefix);
+    source.drain();
+    std::ostringstream os(std::ios::binary);
+    source.checkpoint(os);
+    blob = os.str();
+  }
+
+  auto finish_from_blob = [&](const stream::EngineOptions& opts) {
+    stream::StreamEngine engine(opts);
+    std::istringstream is(blob, std::ios::binary);
+    engine.restore(is);
+    feed_ticks(engine, kPrefix, kPrefix + kSuffix);
+    for (int sid = 0; sid < kStreams; ++sid)
+      EXPECT_TRUE(engine.close_stream(stream::StreamId(sid)));
+    return engine.finish();
+  };
+  const auto on = finish_from_blob(adaptive_opts);
+  const auto off = finish_from_blob(static_opts);
+  ASSERT_EQ(on.size(), std::size_t(kStreams));
+  ASSERT_EQ(off.size(), on.size());
+  long long flips = 0;
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    ASSERT_EQ(on[i].id, off[i].id);
+    ASSERT_EQ(on[i].planned_energy, off[i].planned_energy) << on[i].id;
+    ASSERT_EQ(on[i].decisions.size(), off[i].decisions.size());
+    for (std::size_t d = 0; d < on[i].decisions.size(); ++d) {
+      ASSERT_EQ(on[i].decisions[d].first, off[i].decisions[d].first);
+      expect_decision_eq(on[i].decisions[d].second,
+                         off[i].decisions[d].second,
+                         "stream " + std::to_string(on[i].id) + " op " +
+                             std::to_string(d));
+    }
+    flips += on[i].counters.backend_flips;
+  }
+  // The prefix crossed the threshold, so the checkpointed sessions had
+  // flipped — and the snapshot aggregation must carry the new counters.
+  EXPECT_GT(flips, 0);
+}
+
+// backend_flips / tuner_evals must survive EngineSnapshot aggregation
+// (closed-session counters roll up through PdCounters::operator+=).
+TEST(TunerCheckpoint, SnapshotAggregatesTunerCounters) {
+  stream::EngineOptions opts;
+  opts.num_shards = 2;
+  opts.machine = Machine{1, 2.0};
+  opts.scheduler.adaptive = true;
+  opts.scheduler.tuner.indexed_threshold = 4;
+  stream::StreamEngine engine(opts);
+  for (int t = 0; t < 16; ++t)
+    for (int sid = 0; sid < 4; ++sid) {
+      model::Job job;
+      job.id = t * 4 + sid;
+      job.release = double(t);
+      job.deadline = double(t) + 8.0;
+      job.work = 0.5;
+      job.value = util::kInf;
+      ASSERT_TRUE(engine.feed(stream::StreamId(sid), job));
+      ASSERT_TRUE(engine.advance(stream::StreamId(sid), double(t)));
+    }
+  for (int sid = 0; sid < 4; ++sid)
+    ASSERT_TRUE(engine.close_stream(stream::StreamId(sid)));
+  engine.drain();
+  const auto snap = engine.snapshot();
+  EXPECT_GT(snap.counters.backend_flips, 0);
+  EXPECT_GT(snap.counters.tuner_evals, 0);
+}
+
+}  // namespace
+}  // namespace pss
